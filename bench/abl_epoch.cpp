@@ -1,0 +1,73 @@
+// Ablation: epoch manager costs (§3.4) — enter/exit pairs, the conditional
+// quiescent fast path (a single shared read), migration on epoch change, and
+// the deferred-reclamation pipeline.
+#include <benchmark/benchmark.h>
+
+#include "common/sysconf.h"
+#include "epoch/epoch_manager.h"
+
+namespace {
+
+using namespace ermia;
+
+void BM_EnterExit(benchmark::State& state) {
+  static EpochManager mgr;
+  for (auto _ : state) {
+    mgr.Enter();
+    mgr.Exit();
+  }
+  ThreadRegistry::Deregister();
+}
+BENCHMARK(BM_EnterExit)->Threads(1)->Threads(2)->Threads(4);
+
+// The paper's conditional quiescent point: when the epoch is not closing,
+// announcing costs one shared load.
+void BM_QuiesceFastPath(benchmark::State& state) {
+  static EpochManager mgr;
+  mgr.Enter();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.Quiesce());
+  }
+  mgr.Exit();
+  ThreadRegistry::Deregister();
+}
+BENCHMARK(BM_QuiesceFastPath)->Threads(1)->Threads(2)->Threads(4);
+
+// Worst case: the epoch advances every iteration, forcing migration.
+void BM_QuiesceWithMigration(benchmark::State& state) {
+  EpochManager mgr;
+  mgr.Enter();
+  for (auto _ : state) {
+    mgr.Advance();
+    benchmark::DoNotOptimize(mgr.Quiesce());
+  }
+  mgr.Exit();
+  ThreadRegistry::Deregister();
+}
+BENCHMARK(BM_QuiesceWithMigration);
+
+void BM_ReclaimBoundary(benchmark::State& state) {
+  static EpochManager mgr;
+  mgr.Enter();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.ReclaimBoundary());
+  }
+  mgr.Exit();
+  ThreadRegistry::Deregister();
+}
+BENCHMARK(BM_ReclaimBoundary);
+
+void BM_DeferAndReclaim(benchmark::State& state) {
+  EpochManager mgr;
+  for (auto _ : state) {
+    mgr.Defer([] {});
+    mgr.Advance();
+    benchmark::DoNotOptimize(mgr.RunReclaimers());
+  }
+  ThreadRegistry::Deregister();
+}
+BENCHMARK(BM_DeferAndReclaim);
+
+}  // namespace
+
+BENCHMARK_MAIN();

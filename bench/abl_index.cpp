@@ -1,0 +1,99 @@
+// Ablation: OLC B+-tree throughput — point lookups, inserts, scans, and
+// mixed read/write, single- and multi-threaded (the index is Fig. 11's
+// largest component, so its constants matter).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "common/key_encoder.h"
+#include "common/random.h"
+#include "index/btree.h"
+
+namespace {
+
+using namespace ermia;
+
+constexpr uint64_t kPreload = 100000;
+
+BTree* SharedTree() {
+  static BTree tree;
+  static bool loaded = [] {
+    NodeHandle nh;
+    for (uint64_t i = 0; i < kPreload; ++i) {
+      tree.Insert(KeyEncoder().U64(i).slice(), static_cast<Oid>(i + 1), &nh,
+                  nullptr);
+    }
+    return true;
+  }();
+  (void)loaded;
+  return &tree;
+}
+
+void BM_Lookup(benchmark::State& state) {
+  BTree* tree = SharedTree();
+  FastRandom rng(state.thread_index() + 1);
+  NodeHandle nh;
+  for (auto _ : state) {
+    Oid oid = 0;
+    benchmark::DoNotOptimize(tree->Lookup(
+        KeyEncoder().U64(rng.UniformU64(0, kPreload - 1)).slice(), &oid, &nh));
+  }
+}
+BENCHMARK(BM_Lookup)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_Insert(benchmark::State& state) {
+  static BTree tree;
+  static std::atomic<uint64_t> next{0};
+  NodeHandle nh;
+  for (auto _ : state) {
+    const uint64_t k = next.fetch_add(1, std::memory_order_relaxed);
+    tree.Insert(KeyEncoder().U64(k).slice(), static_cast<Oid>(k + 1), &nh,
+                nullptr);
+  }
+}
+BENCHMARK(BM_Insert)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_Scan100(benchmark::State& state) {
+  BTree* tree = SharedTree();
+  FastRandom rng(7);
+  for (auto _ : state) {
+    const uint64_t from = rng.UniformU64(0, kPreload - 200);
+    size_t n = 0;
+    tree->Scan(
+        KeyEncoder().U64(from).slice(), KeyEncoder().U64(from + 99).slice(),
+        [&](const Slice&, Oid) {
+          ++n;
+          return true;
+        },
+        nullptr);
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_Scan100);
+
+void BM_MixedReadInsert(benchmark::State& state) {
+  static BTree tree;
+  static std::atomic<uint64_t> next{1u << 20};
+  FastRandom rng(state.thread_index() + 3);
+  NodeHandle nh;
+  for (auto _ : state) {
+    if (rng.Bernoulli(0.2)) {
+      const uint64_t k = next.fetch_add(1, std::memory_order_relaxed);
+      tree.Insert(KeyEncoder().U64(k).slice(), static_cast<Oid>(k), &nh,
+                  nullptr);
+    } else {
+      Oid oid = 0;
+      const uint64_t hi = next.load(std::memory_order_relaxed);
+      benchmark::DoNotOptimize(tree.Lookup(
+          KeyEncoder().U64((1u << 20) + rng.UniformU64(0, hi - (1u << 20)))
+              .slice(),
+          &oid, &nh));
+    }
+  }
+}
+BENCHMARK(BM_MixedReadInsert)->Threads(1)->Threads(2)->Threads(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Shared scaffolding for the figure-reproduction binaries. Each binary
+// prints the same rows/series the paper reports; defaults are sized for a
+// small container and scale up via ERMIA_BENCH_SECONDS / ERMIA_BENCH_THREADS
+// / ERMIA_BENCH_SCALE / ERMIA_BENCH_DENSITY (see DESIGN.md §4).
+#ifndef ERMIA_BENCH_BENCH_UTIL_H_
+#define ERMIA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/driver.h"
+
+namespace ermia {
+namespace bench {
+
+inline const std::vector<CcScheme> kAllSchemes = {
+    CcScheme::kOcc, CcScheme::kSi, CcScheme::kSiSsn};
+
+// Loads a fresh database + workload and runs one benchmark point, exactly as
+// the paper does per data point.
+template <typename WorkloadT>
+BenchResult RunPoint(std::function<std::unique_ptr<WorkloadT>()> make_workload,
+                     const BenchOptions& options) {
+  EngineConfig config;
+  ScopedDatabase scoped(config);
+  Status s = scoped.db->Open();
+  ERMIA_CHECK(s.ok());
+  auto workload = make_workload();
+  s = workload->Load(scoped.db);
+  ERMIA_CHECK(s.ok());
+  return RunBench(scoped.db, workload.get(), options);
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+inline size_t TypeIndex(const BenchResult& r, const std::string& name) {
+  for (size_t i = 0; i < r.type_names.size(); ++i) {
+    if (r.type_names[i] == name) return i;
+  }
+  return SIZE_MAX;
+}
+
+}  // namespace bench
+}  // namespace ermia
+
+#endif  // ERMIA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,61 @@
+// Fig. 2: per-transaction-type commit rates for plain TPC-C (left) and
+// TPC-C + Q2* at 10% size (right). Expected shape: comparable commit rates
+// across schemes on plain TPC-C; with Q2* in the mix, Silo-OCC commits almost
+// no Q2* transactions (reader starvation) while ERMIA keeps Q2*'s commit rate
+// high, and overall TPS drops far more under OCC (wasted cycles on doomed
+// long readers).
+#include "bench_util.h"
+#include "workloads/tpcc/tpcc_workload.h"
+
+using namespace ermia;
+using namespace ermia::bench;
+
+namespace {
+
+void RunMix(bool hybrid, double seconds, uint32_t threads, uint32_t scale,
+            double density) {
+  std::printf("\n-- %s (W=%u, %u threads) --\n",
+              hybrid ? "TPC-C + Q2* (10% size)" : "TPC-C", scale, threads);
+  std::vector<BenchResult> results;
+  for (CcScheme scheme : kAllSchemes) {
+    BenchOptions options;
+    options.threads = threads;
+    options.seconds = seconds;
+    options.scheme = scheme;
+    results.push_back(RunPoint<tpcc::TpccWorkload>(
+        [&] {
+          tpcc::TpccConfig cfg;
+          cfg.warehouses = scale;
+          cfg.density = density;
+          tpcc::TpccRunOptions opts;
+          opts.hybrid = hybrid;
+          opts.q2_fraction = 0.1;
+          return std::make_unique<tpcc::TpccWorkload>(cfg, opts);
+        },
+        options));
+  }
+  std::printf("%-12s %14s %14s %14s   (commits/s)\n", "txn type", "Silo-OCC",
+              "ERMIA-SI", "ERMIA-SSN");
+  for (size_t t = 0; t < results[0].type_names.size(); ++t) {
+    std::printf("%-12s", results[0].type_names[t].c_str());
+    for (const auto& r : results) std::printf(" %14.0f", r.type_tps(t));
+    std::printf("\n");
+  }
+  std::printf("%-12s", "TOTAL");
+  for (const auto& r : results) std::printf(" %14.0f", r.tps());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("fig02_commit_breakdown: commit rate per TPC-C txn type",
+              "Figure 2 (TPC-C left, TPC-C + Q2* right)");
+  const double seconds = EnvSeconds(0.5);
+  const uint32_t threads = EnvThreads({4}).front();
+  const uint32_t scale = EnvScale(std::max(2u, threads));
+  const double density = EnvDensity(0.05);
+  RunMix(false, seconds, threads, scale, density);
+  RunMix(true, seconds, threads, scale, density);
+  return 0;
+}

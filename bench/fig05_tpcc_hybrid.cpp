@@ -1,0 +1,78 @@
+// Fig. 5 + Table 1 (row 1): TPC-C-hybrid as the Q2* footprint grows from 1%
+// to 100%. Three panels per the paper: normalized overall throughput,
+// normalized Q2* throughput, and Q2* abort ratio. Expected shape: Silo-OCC's
+// Q2* commits collapse to ~zero past small footprints with abort ratios
+// approaching 100%, while ERMIA's aborts stay low (write-write only) and
+// ERMIA-SI stays on top overall; Table 1 gives ERMIA-SI's absolute TPS.
+#include "bench_util.h"
+#include "workloads/tpcc/tpcc_workload.h"
+
+using namespace ermia;
+using namespace ermia::bench;
+
+int main() {
+  PrintHeader("fig05_tpcc_hybrid: TPC-C + Q2*, varying Q2* size",
+              "Figure 5 (all three panels) + Table 1 (TPC-C-hybrid row)");
+  const double seconds = EnvSeconds(0.5);
+  const uint32_t threads = EnvThreads({4}).front();
+  const uint32_t scale = EnvScale(std::max(2u, threads));
+  const double density = EnvDensity(0.05);
+  const std::vector<double> sizes = {0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0};
+
+  struct Cell {
+    double total_tps, q2_tps, q2_abort;
+  };
+  std::vector<std::vector<Cell>> grid(kAllSchemes.size());
+
+  for (size_t si = 0; si < kAllSchemes.size(); ++si) {
+    for (double size : sizes) {
+      BenchOptions options;
+      options.threads = threads;
+      options.seconds = seconds;
+      options.scheme = kAllSchemes[si];
+      BenchResult r = RunPoint<tpcc::TpccWorkload>(
+          [&] {
+            tpcc::TpccConfig cfg;
+            cfg.warehouses = scale;
+            cfg.density = density;
+            tpcc::TpccRunOptions opts;
+            opts.hybrid = true;
+            opts.q2_fraction = size;
+            return std::make_unique<tpcc::TpccWorkload>(cfg, opts);
+          },
+          options);
+      const size_t q2 = TypeIndex(r, "Q2*");
+      grid[si].push_back(
+          {r.tps(), r.type_tps(q2), r.per_type[q2].abort_ratio()});
+    }
+  }
+
+  auto print_panel = [&](const char* title,
+                         const std::function<double(const Cell&)>& f,
+                         bool normalize_to_si) {
+    std::printf("\n-- %s --\n", title);
+    std::printf("%10s %14s %14s %14s\n", "Q2* size", "Silo-OCC", "ERMIA-SI",
+                "ERMIA-SSN");
+    for (size_t x = 0; x < sizes.size(); ++x) {
+      std::printf("%9.0f%%", sizes[x] * 100);
+      const double si_val = f(grid[1][x]);  // kAllSchemes[1] == kSi
+      for (size_t s = 0; s < kAllSchemes.size(); ++s) {
+        const double v = f(grid[s][x]);
+        std::printf(" %14.3f", normalize_to_si && si_val > 0 ? v / si_val : v);
+      }
+      std::printf("\n");
+    }
+  };
+  print_panel("overall throughput (normalized to ERMIA-SI)",
+              [](const Cell& c) { return c.total_tps; }, true);
+  print_panel("Q2* throughput (normalized to ERMIA-SI)",
+              [](const Cell& c) { return c.q2_tps; }, true);
+  print_panel("Q2* abort ratio (%)",
+              [](const Cell& c) { return c.q2_abort * 100; }, false);
+
+  std::printf("\n-- Table 1 row: absolute overall TPS of ERMIA-SI --\n");
+  for (size_t x = 0; x < sizes.size(); ++x) {
+    std::printf("%9.0f%%: %10.0f tps\n", sizes[x] * 100, grid[1][x].total_tps);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Fig. 6 + Table 1 (row 2): TPC-E-hybrid as the AssetEval group size grows
+// from 1% to 100% of the account range. Same three panels as Fig. 5.
+// Expected shape: gentler than TPC-C-hybrid (TPC-E is less contended), but
+// Silo-OCC's AssetEval throughput still collapses at larger footprints while
+// ERMIA commits nearly all of them.
+#include "bench_util.h"
+#include "workloads/tpce/tpce_workload.h"
+
+using namespace ermia;
+using namespace ermia::bench;
+
+int main() {
+  PrintHeader("fig06_tpce_hybrid: TPC-E + AssetEval, varying AssetEval size",
+              "Figure 6 (all three panels) + Table 1 (TPC-E-hybrid row)");
+  const double seconds = EnvSeconds(0.5);
+  const uint32_t threads = EnvThreads({4}).front();
+  const double density = EnvDensity(0.05);
+  const std::vector<double> sizes = {0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0};
+
+  struct Cell {
+    double total_tps, ae_tps, ae_abort;
+  };
+  std::vector<std::vector<Cell>> grid(kAllSchemes.size());
+
+  for (size_t si = 0; si < kAllSchemes.size(); ++si) {
+    for (double size : sizes) {
+      BenchOptions options;
+      options.threads = threads;
+      options.seconds = seconds;
+      options.scheme = kAllSchemes[si];
+      BenchResult r = RunPoint<tpce::TpceWorkload>(
+          [&] {
+            tpce::TpceConfig cfg;
+            cfg.density = density;
+            tpce::TpceRunOptions opts;
+            opts.hybrid = true;
+            opts.asset_eval_size = size;
+            return std::make_unique<tpce::TpceWorkload>(cfg, opts);
+          },
+          options);
+      const size_t ae = TypeIndex(r, "AssetEval");
+      grid[si].push_back(
+          {r.tps(), r.type_tps(ae), r.per_type[ae].abort_ratio()});
+    }
+  }
+
+  auto print_panel = [&](const char* title,
+                         const std::function<double(const Cell&)>& f,
+                         bool normalize_to_si) {
+    std::printf("\n-- %s --\n", title);
+    std::printf("%10s %14s %14s %14s\n", "AE size", "Silo-OCC", "ERMIA-SI",
+                "ERMIA-SSN");
+    for (size_t x = 0; x < sizes.size(); ++x) {
+      std::printf("%9.0f%%", sizes[x] * 100);
+      const double si_val = f(grid[1][x]);
+      for (size_t s = 0; s < kAllSchemes.size(); ++s) {
+        const double v = f(grid[s][x]);
+        std::printf(" %14.3f", normalize_to_si && si_val > 0 ? v / si_val : v);
+      }
+      std::printf("\n");
+    }
+  };
+  print_panel("overall throughput (normalized to ERMIA-SI)",
+              [](const Cell& c) { return c.total_tps; }, true);
+  print_panel("AssetEval throughput (normalized to ERMIA-SI)",
+              [](const Cell& c) { return c.ae_tps; }, true);
+  print_panel("AssetEval abort ratio (%)",
+              [](const Cell& c) { return c.ae_abort * 100; }, false);
+
+  std::printf("\n-- Table 1 row: absolute overall TPS of ERMIA-SI --\n");
+  for (size_t x = 0; x < sizes.size(); ++x) {
+    std::printf("%9.0f%%: %10.0f tps\n", sizes[x] * 100, grid[1][x].total_tps);
+  }
+  return 0;
+}

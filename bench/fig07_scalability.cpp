@@ -1,0 +1,68 @@
+// Fig. 7: throughput of TPC-C (left) and TPC-E (right) as worker threads
+// grow. Expected shape: near-linear scaling for all three systems on these
+// low-contention mixes, with Silo-OCC slightly ahead at peak (lowest CC
+// overhead when there is little CC pressure) and ERMIA-SSN paying a small
+// serializability premium. (On a box with few cores the curves flatten at
+// the core count; ERMIA_BENCH_THREADS extends the sweep.)
+#include "bench_util.h"
+#include "workloads/tpcc/tpcc_workload.h"
+#include "workloads/tpce/tpce_workload.h"
+
+using namespace ermia;
+using namespace ermia::bench;
+
+int main() {
+  PrintHeader("fig07_scalability: TPC-C and TPC-E thread scaling",
+              "Figure 7 (TPC-C left, TPC-E right)");
+  const double seconds = EnvSeconds(0.4);
+  const std::vector<uint32_t> threads = EnvThreads({1, 2, 4});
+  const double density = EnvDensity(0.05);
+
+  std::printf("\n-- TPC-C --\n");
+  std::printf("%8s %14s %14s %14s   (kTps)\n", "threads", "Silo-OCC",
+              "ERMIA-SI", "ERMIA-SSN");
+  for (uint32_t n : threads) {
+    std::printf("%8u", n);
+    for (CcScheme scheme : kAllSchemes) {
+      BenchOptions options;
+      options.threads = n;
+      options.seconds = seconds;
+      options.scheme = scheme;
+      BenchResult r = RunPoint<tpcc::TpccWorkload>(
+          [&] {
+            tpcc::TpccConfig cfg;
+            cfg.warehouses = std::max(1u, EnvScale(n));
+            cfg.density = density;
+            return std::make_unique<tpcc::TpccWorkload>(cfg,
+                                                        tpcc::TpccRunOptions{});
+          },
+          options);
+      std::printf(" %14.2f", r.tps() / 1000.0);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n-- TPC-E --\n");
+  std::printf("%8s %14s %14s %14s   (kTps)\n", "threads", "Silo-OCC",
+              "ERMIA-SI", "ERMIA-SSN");
+  for (uint32_t n : threads) {
+    std::printf("%8u", n);
+    for (CcScheme scheme : kAllSchemes) {
+      BenchOptions options;
+      options.threads = n;
+      options.seconds = seconds;
+      options.scheme = scheme;
+      BenchResult r = RunPoint<tpce::TpceWorkload>(
+          [&] {
+            tpce::TpceConfig cfg;
+            cfg.density = density;
+            return std::make_unique<tpce::TpceWorkload>(cfg,
+                                                        tpce::TpceRunOptions{});
+          },
+          options);
+      std::printf(" %14.2f", r.tps() / 1000.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 9: TPC-E-hybrid thread scaling at AssetEval sizes 10% (left) and 60%
+// (right). Expected shape: CC pressure from the long read-mostly transaction
+// deteriorates Silo-OCC's scaling — and more so at the larger footprint —
+// while ERMIA keeps scaling thanks to its robust CC and scalable physical
+// layer.
+#include "bench_util.h"
+#include "workloads/tpce/tpce_workload.h"
+
+using namespace ermia;
+using namespace ermia::bench;
+
+namespace {
+
+void RunSize(double size, double seconds, const std::vector<uint32_t>& threads,
+             double density) {
+  std::printf("\n-- TPC-E-hybrid, AssetEval size %.0f%% --\n", size * 100);
+  std::printf("%8s %14s %14s %14s   (kTps)\n", "threads", "Silo-OCC",
+              "ERMIA-SI", "ERMIA-SSN");
+  for (uint32_t n : threads) {
+    std::printf("%8u", n);
+    for (CcScheme scheme : kAllSchemes) {
+      BenchOptions options;
+      options.threads = n;
+      options.seconds = seconds;
+      options.scheme = scheme;
+      BenchResult r = RunPoint<tpce::TpceWorkload>(
+          [&] {
+            tpce::TpceConfig cfg;
+            cfg.density = density;
+            tpce::TpceRunOptions opts;
+            opts.hybrid = true;
+            opts.asset_eval_size = size;
+            return std::make_unique<tpce::TpceWorkload>(cfg, opts);
+          },
+          options);
+      std::printf(" %14.3f", r.tps() / 1000.0);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "fig09_tpce_hybrid_scalability: scaling under heavy read-mostly txns",
+      "Figure 9 (10% AssetEval left, 60% AssetEval right)");
+  const double seconds = EnvSeconds(0.4);
+  const std::vector<uint32_t> threads = EnvThreads({1, 2, 4});
+  const double density = EnvDensity(0.05);
+  RunSize(0.10, seconds, threads, density);
+  RunSize(0.60, seconds, threads, density);
+  return 0;
+}

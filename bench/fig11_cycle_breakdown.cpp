@@ -1,0 +1,54 @@
+// Fig. 11: per-transaction cycle breakdown of ERMIA-SI running TPC-C, by
+// component: index (Masstree in the paper, the OLC B+-tree here),
+// indirection arrays, log manager, epoch managers, and everything else.
+// Expected shape: the index dominates (~40% in the paper), indirection costs
+// double-digit %, the log manager holds steady at ~8-9% across thread
+// counts, and the epoch managers are negligible (<1%) — i.e., the building
+// blocks stay scalable as parallelism grows.
+#include "bench_util.h"
+#include "workloads/tpcc/tpcc_workload.h"
+
+using namespace ermia;
+using namespace ermia::bench;
+
+int main() {
+  PrintHeader("fig11_cycle_breakdown: cycles per txn by component (ERMIA-SI)",
+              "Figure 11");
+  const double seconds = EnvSeconds(0.4);
+  const std::vector<uint32_t> threads = EnvThreads({1, 2, 4});
+  const double density = EnvDensity(0.05);
+
+  std::printf("%8s %12s %12s %12s %12s %12s %12s\n", "threads", "total(K)",
+              "index(K)", "indir(K)", "log(K)", "epoch(K)", "other(K)");
+  for (uint32_t n : threads) {
+    BenchOptions options;
+    options.threads = n;
+    options.seconds = seconds;
+    options.scheme = CcScheme::kSi;
+    options.profile = true;
+    BenchResult r = RunPoint<tpcc::TpccWorkload>(
+        [&] {
+          tpcc::TpccConfig cfg;
+          cfg.warehouses = std::max(1u, EnvScale(n));
+          cfg.density = density;
+          return std::make_unique<tpcc::TpccWorkload>(cfg,
+                                                      tpcc::TpccRunOptions{});
+        },
+        options);
+    const double txns =
+        std::max<uint64_t>(1, r.prof.transactions);
+    const double total = static_cast<double>(r.prof.total_cycles) / txns;
+    const double index = static_cast<double>(r.prof.index_cycles) / txns;
+    const double indir = static_cast<double>(r.prof.indirection_cycles) / txns;
+    const double log = static_cast<double>(r.prof.log_cycles) / txns;
+    const double epoch = static_cast<double>(r.prof.epoch_cycles) / txns;
+    const double other = total - index - indir - log - epoch;
+    std::printf("%8u %12.1f %12.1f %12.1f %12.1f %12.2f %12.1f\n", n,
+                total / 1000, index / 1000, indir / 1000, log / 1000,
+                epoch / 1000, other / 1000);
+    std::printf("%8s %12s %11.0f%% %11.0f%% %11.0f%% %11.1f%% %11.0f%%\n", "",
+                "", 100 * index / total, 100 * indir / total,
+                100 * log / total, 100 * epoch / total, 100 * other / total);
+  }
+  return 0;
+}

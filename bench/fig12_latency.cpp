@@ -1,0 +1,67 @@
+// Fig. 12: latency of the Q2* transaction at 60% and 80% footprint sizes,
+// varying thread count, with min/max bars. Expected shape: ERMIA-SI and
+// ERMIA-SSN deliver consistent latency with negligible variance; Silo-OCC's
+// Q2* latency grows faster with parallelism and fluctuates once transactions
+// get large (read-write contention on its single-version records plus
+// commit-time validation over a huge footprint).
+#include "bench_util.h"
+#include "workloads/tpcc/tpcc_workload.h"
+
+using namespace ermia;
+using namespace ermia::bench;
+
+namespace {
+
+void RunSize(double size, double seconds, const std::vector<uint32_t>& threads,
+             double density) {
+  std::printf("\n-- Q2* latency at %.0f%% size (ms; mean [min..max]) --\n",
+              size * 100);
+  std::printf("%8s %24s %24s %24s\n", "threads", "Silo-OCC", "ERMIA-SI",
+              "ERMIA-SSN");
+  for (uint32_t n : threads) {
+    std::printf("%8u", n);
+    for (CcScheme scheme : kAllSchemes) {
+      BenchOptions options;
+      options.threads = n;
+      options.seconds = seconds;
+      options.scheme = scheme;
+      BenchResult r = RunPoint<tpcc::TpccWorkload>(
+          [&] {
+            tpcc::TpccConfig cfg;
+            // Paper: scale factor tracks thread count, so the scanned Stock
+            // range grows with parallelism.
+            cfg.warehouses = std::max(1u, EnvScale(n));
+            cfg.density = density;
+            tpcc::TpccRunOptions opts;
+            opts.hybrid = true;
+            opts.q2_fraction = size;
+            return std::make_unique<tpcc::TpccWorkload>(cfg, opts);
+          },
+          options);
+      const size_t q2 = TypeIndex(r, "Q2*");
+      const Histogram& h = r.per_type[q2].latency;
+      if (h.count() == 0) {
+        std::printf(" %24s", "no commits");
+      } else {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.1f [%.1f..%.1f]", h.mean() / 1000.0,
+                      h.min() / 1000.0, static_cast<double>(h.max()) / 1000.0);
+        std::printf(" %24s", buf);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("fig12_latency: Q2* latency under growing parallelism",
+              "Figure 12 (60% size left, 80% size right)");
+  const double seconds = EnvSeconds(0.5);
+  const std::vector<uint32_t> threads = EnvThreads({1, 2, 4});
+  const double density = EnvDensity(0.05);
+  RunSize(0.6, seconds, threads, density);
+  RunSize(0.8, seconds, threads, density);
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Isolation-level walkthrough using the classic two-account constraint:
+// "the sum of accounts A and B must stay non-negative". Each transaction
+// reads both accounts and, if the constraint allows, withdraws from one —
+// the textbook write-skew pattern. Under SI both concurrent withdrawals can
+// commit and break the constraint; under SI+SSN one of them aborts.
+//
+//   $ ./build/examples/bank_transfers
+#include <cstdio>
+#include <cstring>
+
+#include "engine/database.h"
+
+using namespace ermia;
+
+namespace {
+
+int64_t Balance(Transaction& txn, Table* t, Oid oid) {
+  Slice v;
+  if (!txn.Read(t, oid, &v).ok() || v.size() != sizeof(int64_t)) return 0;
+  int64_t out;
+  std::memcpy(&out, v.data(), sizeof out);
+  return out;
+}
+
+Status SetBalance(Transaction& txn, Table* t, Oid oid, int64_t value) {
+  return txn.Update(t, oid,
+                    Slice(reinterpret_cast<const char*>(&value), sizeof value));
+}
+
+// Withdraws `amount` from `from` if (balance(a) + balance(b)) stays >= 0.
+Status TryWithdraw(Database* db, CcScheme scheme, Table* t, Oid from, Oid a,
+                   Oid b, int64_t amount, Transaction** out) {
+  auto* txn = new Transaction(db, scheme);
+  *out = txn;
+  const int64_t total = Balance(*txn, t, a) + Balance(*txn, t, b);
+  if (total - amount < 0) {
+    txn->Abort();
+    return Status::InvalidArgument("constraint would be violated");
+  }
+  return SetBalance(*txn, t, from, Balance(*txn, t, from) - amount);
+}
+
+void Demo(CcScheme scheme) {
+  EngineConfig config;
+  Database db(config);
+  Table* accounts = db.CreateTable("accounts");
+  Index* pk = db.CreateIndex(accounts, "accounts_pk");
+  if (!db.Open().ok()) return;
+
+  Oid a = 0, b = 0;
+  {
+    Transaction txn(&db, CcScheme::kSi);
+    const int64_t hundred = 100;
+    txn.Insert(accounts, pk, "A",
+               Slice(reinterpret_cast<const char*>(&hundred), 8), &a);
+    txn.Insert(accounts, pk, "B",
+               Slice(reinterpret_cast<const char*>(&hundred), 8), &b);
+    txn.Commit();
+  }
+
+  // Two concurrent withdrawals of 150: each is fine alone (total 200), both
+  // together violate the constraint.
+  Transaction *t1 = nullptr, *t2 = nullptr;
+  Status w1 = TryWithdraw(&db, scheme, accounts, a, a, b, 150, &t1);
+  Status w2 = TryWithdraw(&db, scheme, accounts, b, a, b, 150, &t2);
+  Status c1 = w1.ok() ? t1->Commit() : w1;
+  Status c2 = w2.ok() ? t2->Commit() : w2;
+  if (!t1->finished()) t1->Abort();
+  if (!t2->finished()) t2->Abort();
+  delete t1;
+  delete t2;
+
+  int64_t final_a = 0, final_b = 0;
+  {
+    Transaction txn(&db, CcScheme::kSi);
+    final_a = Balance(txn, accounts, a);
+    final_b = Balance(txn, accounts, b);
+    txn.Commit();
+  }
+  const int64_t total = final_a + final_b;
+  std::printf("%-10s  T1: %-28s T2: %-28s A+B = %lld  %s\n",
+              CcSchemeName(scheme), c1.ToString().c_str(),
+              c2.ToString().c_str(), static_cast<long long>(total),
+              total < 0 ? "<-- constraint VIOLATED (write skew)" : "ok");
+  db.Close();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("constraint: balance(A) + balance(B) >= 0; two concurrent "
+              "withdrawals of 150 from {A=100, B=100}\n\n");
+  Demo(CcScheme::kSi);     // snapshot isolation: write skew slips through
+  Demo(CcScheme::kSiSsn);  // serializable: one withdrawal aborts
+  std::printf(
+      "\nSI commits both (each saw total=200 in its snapshot) and the\n"
+      "invariant breaks; SSN's exclusion-window test kills the cycle, so\n"
+      "at most one withdrawal commits — serializability at SI-like cost.\n");
+  return 0;
+}

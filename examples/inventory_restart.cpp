@@ -1,0 +1,126 @@
+// Durability walkthrough: a small inventory application that writes orders,
+// takes a fuzzy checkpoint mid-stream, keeps writing, then "crashes"
+// (destroys the Database object without any shutdown checkpoint) and recovers
+// from the checkpoint + log tail — demonstrating §3.7's claim that recovery
+// is identical after clean shutdowns and crashes.
+//
+//   $ ./build/examples/inventory_restart
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/key_encoder.h"
+#include "engine/database.h"
+
+using namespace ermia;
+
+namespace {
+
+const char* kLogDir = "/tmp/ermia-inventory-example";
+
+Varstr SkuKey(uint32_t sku) { return KeyEncoder().U32(sku).varstr(); }
+
+struct Schema {
+  Table* inventory;
+  Index* by_sku;
+};
+
+Schema CreateSchema(Database* db) {
+  Table* t = db->CreateTable("inventory");
+  return {t, db->CreateIndex(t, "inventory_by_sku")};
+}
+
+bool Put(Database* db, const Schema& s, uint32_t sku, const std::string& v) {
+  Transaction txn(db, CcScheme::kSi);
+  Oid oid = 0;
+  Status st = txn.Insert(s.inventory, s.by_sku, SkuKey(sku).slice(), v, &oid);
+  if (st.IsKeyExists()) {
+    if (!txn.GetOid(s.by_sku, SkuKey(sku).slice(), &oid).ok()) return false;
+    if (!txn.Update(s.inventory, oid, v).ok()) return false;
+  } else if (!st.ok()) {
+    return false;
+  }
+  return txn.Commit().ok();
+}
+
+size_t Count(Database* db, const Schema& s) {
+  Transaction txn(db, CcScheme::kSi, /*read_only=*/true);
+  size_t n = 0;
+  txn.Scan(s.by_sku, Slice(), Slice(), -1,
+           [&](const Slice&, const Slice&) {
+             ++n;
+             return true;
+           });
+  txn.Commit();
+  return n;
+}
+
+std::string Get(Database* db, const Schema& s, uint32_t sku) {
+  Transaction txn(db, CcScheme::kSi, /*read_only=*/true);
+  Slice v;
+  Status st = txn.Get(s.by_sku, SkuKey(sku).slice(), &v);
+  std::string out = st.ok() ? v.ToString() : "<missing>";
+  txn.Commit();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // Start from a clean slate.
+  std::string cleanup = std::string("rm -rf '") + kLogDir + "'";
+  int rc = std::system(cleanup.c_str());
+  (void)rc;
+
+  EngineConfig config;
+  config.log_dir = kLogDir;
+  config.synchronous_commit = true;  // commits are durable when they return
+
+  // ---- first incarnation ----------------------------------------------------
+  {
+    auto db = std::make_unique<Database>(config);
+    Schema s = CreateSchema(db.get());
+    if (!db->Open().ok() || !db->Recover().ok()) return 1;
+
+    for (uint32_t sku = 0; sku < 500; ++sku) {
+      Put(db.get(), s, sku, "batch-1 sku " + std::to_string(sku));
+    }
+    std::printf("loaded %zu records\n", Count(db.get(), s));
+
+    uint64_t chk = 0;
+    if (!db->TakeCheckpoint(&chk).ok()) return 1;
+    std::printf("checkpoint taken at log offset %llu\n",
+                static_cast<unsigned long long>(chk));
+
+    for (uint32_t sku = 500; sku < 800; ++sku) {
+      Put(db.get(), s, sku, "batch-2 sku " + std::to_string(sku));
+    }
+    Put(db.get(), s, 42, "batch-2 overwrote sku 42");
+    std::printf("after more writes: %zu records\n", Count(db.get(), s));
+
+    // "Crash": no shutdown checkpoint, just tear everything down.
+    std::printf("simulating crash (no clean shutdown)...\n");
+  }
+
+  // ---- second incarnation: same schema, Open, Recover ----------------------
+  {
+    auto db = std::make_unique<Database>(config);
+    Schema s = CreateSchema(db.get());
+    if (!db->Open().ok()) return 1;
+    if (!db->Recover().ok()) {
+      std::fprintf(stderr, "recovery failed\n");
+      return 1;
+    }
+    std::printf("recovered: %zu records (expected 800)\n", Count(db.get(), s));
+    std::printf("sku 42  -> %s\n", Get(db.get(), s, 42).c_str());
+    std::printf("sku 799 -> %s\n", Get(db.get(), s, 799).c_str());
+
+    // The recovered database is immediately writable.
+    Put(db.get(), s, 800, "post-recovery sku 800");
+    std::printf("after post-recovery write: %zu records\n",
+                Count(db.get(), s));
+    db->Close();
+  }
+  std::printf("done\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Paper-scale reproduction (SIGMOD'16 setup): 30s per data point, thread
+# sweep to 24, full-density tables, TPC-C scale = thread count. Expect hours
+# on a many-core machine; see EXPERIMENTS.md for what to compare.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export ERMIA_BENCH_SECONDS=${ERMIA_BENCH_SECONDS:-30}
+export ERMIA_BENCH_THREADS=${ERMIA_BENCH_THREADS:-1,6,12,18,24}
+export ERMIA_BENCH_DENSITY=${ERMIA_BENCH_DENSITY:-1.0}
+export ERMIA_BENCH_SCALE=${ERMIA_BENCH_SCALE:-24}
+cmake -B build -G Ninja
+cmake --build build
+mkdir -p results
+for b in build/bench/fig*; do
+  name=$(basename "$b")
+  echo "=== $name ==="
+  "$b" | tee "results/$name.txt"
+done

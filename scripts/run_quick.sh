@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Quick full pass: build, tests, every figure bench, every ablation.
+# Total runtime is sized for a small machine (minutes).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+  echo "=== $(basename "$b") ==="
+  "$b"
+done

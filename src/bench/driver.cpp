@@ -1,0 +1,150 @@
+#include "bench/driver.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace ermia {
+namespace bench {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+BenchResult RunBench(Database* db, Workload* workload,
+                     const BenchOptions& options) {
+  const size_t ntypes = workload->NumTxnTypes();
+  std::vector<std::vector<TxnTypeStats>> per_worker(
+      options.threads, std::vector<TxnTypeStats>(ntypes));
+  std::vector<prof::Counters> prof_per_worker(options.threads);
+
+  // Make sure OCC's read-only snapshot covers whatever the loader committed.
+  db->RefreshOccSnapshot();
+
+  prof::Enable(options.profile);
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  std::atomic<uint32_t> ready{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(options.threads);
+  for (uint32_t w = 0; w < options.threads; ++w) {
+    workers.emplace_back([&, w] {
+      FastRandom rng(options.seed * 7919 + w * 104729 + 1);
+      auto& stats = per_worker[w];
+      ready.fetch_add(1);
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      const uint64_t t_begin = prof::Cycles();
+      while (!stop.load(std::memory_order_acquire)) {
+        const size_t type = workload->PickTxnType(rng);
+        const uint64_t t0 = NowMicros();
+        Status s = workload->RunTxn(db, options.scheme, type, w,
+                                    options.threads, rng);
+        if (s.ok()) {
+          stats[type].commits++;
+          stats[type].latency.Add(NowMicros() - t0);
+        } else {
+          stats[type].aborts++;
+        }
+      }
+      prof::t_counters.total_cycles = prof::Cycles() - t_begin;
+      prof_per_worker[w] = prof::t_counters;
+      prof::t_counters = prof::Counters{};
+      ThreadRegistry::Deregister();
+    });
+  }
+
+  while (ready.load() < options.threads) std::this_thread::yield();
+  const auto wall_begin = Clock::now();
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(options.seconds));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : workers) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - wall_begin).count();
+  prof::Enable(false);
+
+  BenchResult result;
+  result.seconds = elapsed;
+  result.per_type.resize(ntypes);
+  for (size_t t = 0; t < ntypes; ++t) {
+    result.type_names.push_back(workload->TxnTypeName(t));
+    for (uint32_t w = 0; w < options.threads; ++w) {
+      result.per_type[t].Merge(per_worker[w][t]);
+    }
+  }
+  for (uint32_t w = 0; w < options.threads; ++w) {
+    result.prof.Add(prof_per_worker[w]);
+  }
+  return result;
+}
+
+double EnvSeconds(double def) {
+  const char* v = std::getenv("ERMIA_BENCH_SECONDS");
+  return v != nullptr ? std::atof(v) : def;
+}
+
+std::vector<uint32_t> EnvThreads(const std::vector<uint32_t>& def) {
+  const char* v = std::getenv("ERMIA_BENCH_THREADS");
+  if (v == nullptr) return def;
+  std::vector<uint32_t> out;
+  const char* p = v;
+  while (*p != '\0') {
+    out.push_back(static_cast<uint32_t>(std::strtoul(p, nullptr, 10)));
+    const char* comma = std::strchr(p, ',');
+    if (comma == nullptr) break;
+    p = comma + 1;
+  }
+  return out.empty() ? def : out;
+}
+
+uint32_t EnvScale(uint32_t def) {
+  const char* v = std::getenv("ERMIA_BENCH_SCALE");
+  return v != nullptr ? static_cast<uint32_t>(std::atoi(v)) : def;
+}
+
+double EnvDensity(double def) {
+  const char* v = std::getenv("ERMIA_BENCH_DENSITY");
+  return v != nullptr ? std::atof(v) : def;
+}
+
+ScopedDatabase::ScopedDatabase(EngineConfig config) {
+  // Log to tmpfs, as the paper does ("log records are written to tmpfs
+  // asynchronously"); fall back to /tmp when /dev/shm is unavailable.
+  char shm_tmpl[] = "/dev/shm/ermia-bench-XXXXXX";
+  char tmp_tmpl[] = "/tmp/ermia-bench-XXXXXX";
+  char* d = ::mkdtemp(shm_tmpl);
+  if (d == nullptr) d = ::mkdtemp(tmp_tmpl);
+  ERMIA_CHECK(d != nullptr);
+  dir = d;
+  config.log_dir = dir;
+  db = new Database(config);
+}
+
+ScopedDatabase::~ScopedDatabase() {
+  delete db;
+  // Best-effort cleanup of the temp log directory.
+  if (dir.find("ermia-bench-") != std::string::npos) {
+    std::string cmd = "rm -rf '" + dir + "'";
+    int rc = std::system(cmd.c_str());
+    (void)rc;
+  }
+}
+
+}  // namespace bench
+}  // namespace ermia

@@ -1,0 +1,37 @@
+#include "bench/stats.h"
+
+#include <cstdio>
+
+namespace ermia {
+namespace bench {
+
+uint64_t BenchResult::total_commits() const {
+  uint64_t n = 0;
+  for (const auto& t : per_type) n += t.commits;
+  return n;
+}
+
+uint64_t BenchResult::total_aborts() const {
+  uint64_t n = 0;
+  for (const auto& t : per_type) n += t.aborts;
+  return n;
+}
+
+double BenchResult::tps() const {
+  return seconds > 0 ? static_cast<double>(total_commits()) / seconds : 0.0;
+}
+
+double BenchResult::type_tps(size_t t) const {
+  return seconds > 0 ? static_cast<double>(per_type[t].commits) / seconds : 0.0;
+}
+
+std::string BenchResult::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%10.0f tps  (%llu commits, %llu aborts, %.1fs)",
+                tps(), static_cast<unsigned long long>(total_commits()),
+                static_cast<unsigned long long>(total_aborts()), seconds);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace ermia

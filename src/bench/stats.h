@@ -1,0 +1,55 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// Per-transaction-type statistics collected by the benchmark driver: commit
+// and abort counts (abort ratio is aborts / attempts, the quantity Figs. 5/6
+// plot) plus a latency histogram over committed executions (Fig. 12).
+#ifndef ERMIA_BENCH_STATS_H_
+#define ERMIA_BENCH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/profiling.h"
+
+namespace ermia {
+namespace bench {
+
+struct TxnTypeStats {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  Histogram latency;  // committed executions, microseconds
+
+  uint64_t attempts() const { return commits + aborts; }
+  double abort_ratio() const {
+    return attempts() == 0
+               ? 0.0
+               : static_cast<double>(aborts) / static_cast<double>(attempts());
+  }
+  void Merge(const TxnTypeStats& o) {
+    commits += o.commits;
+    aborts += o.aborts;
+    latency.Merge(o.latency);
+  }
+};
+
+struct BenchResult {
+  double seconds = 0;
+  std::vector<std::string> type_names;
+  std::vector<TxnTypeStats> per_type;
+  prof::Counters prof;
+
+  uint64_t total_commits() const;
+  uint64_t total_aborts() const;
+  double tps() const;
+  double type_tps(size_t t) const;
+
+  // One-line summary: "total_tps commits aborts".
+  std::string Summary() const;
+};
+
+}  // namespace bench
+}  // namespace ermia
+
+#endif  // ERMIA_BENCH_STATS_H_

@@ -1,0 +1,21 @@
+// Phantom protection (paper §3.6.2): ERMIA inherits Silo's tree-version
+// validation. Lookups and scans record the leaf nodes they consulted; at
+// pre-commit the recorded versions are compared with the nodes' current
+// stable versions — any insertion (or removal) into a consulted range has
+// bumped the version, and the transaction aborts.
+#include "engine/database.h"
+#include "txn/transaction.h"
+
+namespace ermia {
+
+Status Transaction::NodeSetValidate() const {
+  if (!NeedsNodeSet()) return Status::OK();
+  for (const auto& e : node_set_) {
+    if (BTree::StableVersion(e.node) != e.version) {
+      return Status::Phantom("index node version changed");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ermia

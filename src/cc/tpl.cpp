@@ -1,0 +1,114 @@
+// Two-phase locking baseline (extension; see cc/lock_manager.h). Readers
+// take shared record locks and read the newest committed version; writers
+// take exclusive locks and install versions eagerly (the multi-version
+// storage is used single-version-style: everyone reads the head). Strict
+// 2PL: all locks are held to commit/abort. Deadlocks are avoided by bounded
+// waiting — a lock that cannot be acquired aborts the transaction.
+#include "common/profiling.h"
+#include "engine/database.h"
+#include "txn/transaction.h"
+
+namespace ermia {
+
+namespace {
+uint64_t LockKey(Fid fid, Oid oid) {
+  return static_cast<uint64_t>(fid) << 32 | oid;
+}
+}  // namespace
+
+Status Transaction::TplAcquire(Table* table, Oid oid, bool exclusive) {
+  const uint64_t key = LockKey(table->fid(), oid);
+  auto it = held_locks_.find(key);
+  RecordLockTable& locks = db_->lock_table();
+  if (it != held_locks_.end()) {
+    if (!exclusive || it->second) return Status::OK();  // already sufficient
+    if (!locks.TryUpgrade(table->fid(), oid)) {
+      return Status::Conflict("2pl upgrade timeout");
+    }
+    it->second = true;
+    return Status::OK();
+  }
+  const auto mode = exclusive ? RecordLockTable::Mode::kExclusive
+                              : RecordLockTable::Mode::kShared;
+  if (!locks.TryAcquire(table->fid(), oid, mode)) {
+    return Status::Conflict("2pl lock timeout");
+  }
+  held_locks_.emplace(key, exclusive);
+  return Status::OK();
+}
+
+void Transaction::TplReleaseAll() {
+  RecordLockTable& locks = db_->lock_table();
+  for (const auto& [key, exclusive] : held_locks_) {
+    locks.Release(static_cast<Fid>(key >> 32), static_cast<Oid>(key),
+                  exclusive ? RecordLockTable::Mode::kExclusive
+                            : RecordLockTable::Mode::kShared);
+  }
+  held_locks_.clear();
+}
+
+Status Transaction::TplRead(Table* table, Oid oid, Slice* value) {
+  ERMIA_RETURN_NOT_OK(TplAcquire(table, oid, /*exclusive=*/false));
+  Version* v;
+  {
+    ERMIA_PROF_INDIRECTION();
+    v = OccLatestCommitted(table->array().Head(oid));
+  }
+  if (v == nullptr || v->tombstone) return Status::NotFound();
+  if (ERMIA_UNLIKELY(v->stub)) v = MaterializeStub(table, oid, v);
+  *value = v->value();
+  return Status::OK();
+}
+
+Status Transaction::TplUpdate(Table* table, Oid oid, const Slice& value,
+                              bool tombstone) {
+  ERMIA_RETURN_NOT_OK(TplAcquire(table, oid, /*exclusive=*/true));
+  std::atomic<Version*>* slot = table->array().Slot(oid);
+  Version* head = slot->load(std::memory_order_acquire);
+  // With the exclusive lock held no other 2PL transaction can touch this
+  // record; a TID-stamped head can only be our own prior write.
+  Version* prev = OccLatestCommitted(head);
+  Version* nv = Version::Alloc(value, tombstone);
+  nv->clsn.store(MakeTidStamp(tid_), std::memory_order_relaxed);
+  nv->next.store(head, std::memory_order_relaxed);
+  {
+    ERMIA_PROF_INDIRECTION();
+    if (!table->array().CasHead(oid, head, nv)) {
+      // Racing non-2PL transaction (mixed-scheme use); treat as conflict.
+      Version::Free(nv);
+      return Status::Conflict("2pl install race");
+    }
+  }
+  uint32_t payload_off = 0;
+  const LogRecordType type =
+      tombstone ? LogRecordType::kDelete : LogRecordType::kUpdate;
+  ERMIA_RETURN_NOT_OK(
+      StageRecord(type, table->fid(), oid, Slice(), value, &payload_off));
+  write_set_.push_back({table, oid, nv, prev, slot, /*is_insert=*/false,
+                        /*installed=*/true, payload_off});
+  return Status::OK();
+}
+
+Status Transaction::TplCommit() {
+  // Phantom protection via node-set validation, as in OCC/SSN (key-range
+  // locking would be the classic alternative; the paper names both, §3.6.2).
+  Status ns = NodeSetValidate();
+  if (!ns.ok()) {
+    Abort();
+    return ns;
+  }
+  Lsn clsn = ReserveCommitBlock();
+  ctx_->cstamp.store(clsn.value(), std::memory_order_release);
+  ctx_->StoreState(TxnState::kCommitting);
+  InstallCommitBlock(clsn);
+  ctx_->StoreState(TxnState::kCommitted);
+  PostCommit(clsn);
+  if (db_->config().synchronous_commit) {
+    db_->log().WaitForDurable(clsn.offset() + BlockSizeForStaging());
+  }
+  TplReleaseAll();
+  Finish(true);
+  return Status::OK();
+}
+
+}  // namespace ermia

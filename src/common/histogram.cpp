@@ -1,0 +1,103 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ermia {
+
+namespace {
+// 64 linear buckets of width 8us, then 16 sub-buckets per power of two.
+constexpr uint64_t kLinearLimit = 512;
+constexpr uint64_t kLinearWidth = 8;
+constexpr size_t kLinearBuckets = kLinearLimit / kLinearWidth;  // 64
+constexpr size_t kSubBuckets = 16;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) { Reset(); }
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+size_t Histogram::BucketFor(uint64_t v) {
+  if (v < kLinearLimit) return v / kLinearWidth;
+  // Power-of-two range with kSubBuckets subdivisions.
+  int log = 63 - __builtin_clzll(v);
+  int base_log = 63 - __builtin_clzll(kLinearLimit);  // log2(512) = 9
+  size_t range = static_cast<size_t>(log - base_log);
+  uint64_t range_low = 1ull << log;
+  size_t sub = static_cast<size_t>((v - range_low) * kSubBuckets / range_low);
+  size_t b = kLinearBuckets + range * kSubBuckets + sub;
+  return b < kNumBuckets ? b : kNumBuckets - 1;
+}
+
+uint64_t Histogram::BucketLow(size_t b) {
+  if (b < kLinearBuckets) return b * kLinearWidth;
+  size_t rel = b - kLinearBuckets;
+  size_t range = rel / kSubBuckets;
+  size_t sub = rel % kSubBuckets;
+  int base_log = 63 - __builtin_clzll(kLinearLimit);
+  uint64_t range_low = 1ull << (base_log + range);
+  return range_low + sub * (range_low / kSubBuckets);
+}
+
+void Histogram::Add(uint64_t value_us) {
+  buckets_[BucketFor(value_us)]++;
+  count_++;
+  sum_ += value_us;
+  min_ = std::min(min_, value_us);
+  max_ = std::max(max_, value_us);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::mean() const {
+  return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    if (static_cast<double>(seen + buckets_[b]) >= target) {
+      const uint64_t low = BucketLow(b);
+      const uint64_t high = b + 1 < kNumBuckets ? BucketLow(b + 1) : low + 1;
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets_[b]);
+      const double interpolated =
+          static_cast<double>(low) + frac * static_cast<double>(high - low);
+      // Clamp to the observed range: bucket interpolation must not report
+      // values outside what was actually recorded.
+      return std::min(static_cast<double>(max_),
+                      std::max(static_cast<double>(min_), interpolated));
+    }
+    seen += buckets_[b];
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "count=%llu mean=%.1fus p50=%.0fus p99=%.0fus min=%lluus "
+                "max=%lluus",
+                static_cast<unsigned long long>(count_), mean(),
+                Percentile(50), Percentile(99),
+                static_cast<unsigned long long>(min()),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace ermia

@@ -1,0 +1,48 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// Log-bucketed latency histogram for the benchmark harness (Fig. 12 needs
+// per-transaction latency with min/median/max across runs). Single-writer;
+// merge histograms from workers after the run.
+#ifndef ERMIA_COMMON_HISTOGRAM_H_
+#define ERMIA_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ermia {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value_us);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  double mean() const;
+  // p in [0, 100]; linear interpolation inside the matched bucket.
+  double Percentile(double p) const;
+
+  std::string Summary() const;
+
+ private:
+  // Buckets: [0,1), [1,2), ... [127,128), then doubling ranges. Resolution of
+  // ~1.5% above 128us which is ample for benchmark reporting.
+  static constexpr size_t kNumBuckets = 512;
+  static size_t BucketFor(uint64_t v);
+  static uint64_t BucketLow(size_t b);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+};
+
+}  // namespace ermia
+
+#endif  // ERMIA_COMMON_HISTOGRAM_H_

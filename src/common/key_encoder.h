@@ -1,0 +1,117 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// Order-preserving binary key encoding. Integers are written big-endian (with
+// the sign bit flipped for signed types) so that memcmp order equals numeric
+// order; strings are padded/truncated to a fixed width inside composite keys
+// so that component boundaries line up.
+#ifndef ERMIA_COMMON_KEY_ENCODER_H_
+#define ERMIA_COMMON_KEY_ENCODER_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/varstr.h"
+
+namespace ermia {
+
+class KeyEncoder {
+ public:
+  KeyEncoder() : size_(0) {}
+
+  KeyEncoder& U8(uint8_t v) {
+    Put(&v, 1);
+    return *this;
+  }
+
+  KeyEncoder& U16(uint16_t v) {
+    uint8_t buf[2] = {static_cast<uint8_t>(v >> 8), static_cast<uint8_t>(v)};
+    Put(buf, sizeof buf);
+    return *this;
+  }
+
+  KeyEncoder& U32(uint32_t v) {
+    uint8_t buf[4];
+    for (int i = 0; i < 4; ++i) buf[i] = static_cast<uint8_t>(v >> (24 - 8 * i));
+    Put(buf, sizeof buf);
+    return *this;
+  }
+
+  KeyEncoder& U64(uint64_t v) {
+    uint8_t buf[8];
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<uint8_t>(v >> (56 - 8 * i));
+    Put(buf, sizeof buf);
+    return *this;
+  }
+
+  KeyEncoder& I64(int64_t v) {
+    // Flip the sign bit: negative values sort before positive ones.
+    return U64(static_cast<uint64_t>(v) ^ (1ull << 63));
+  }
+
+  // Fixed-width string component: padded with NULs, truncated if longer.
+  KeyEncoder& Str(const Slice& s, size_t width) {
+    ERMIA_CHECK(size_ + width <= kMaxKeySize);
+    const size_t n = s.size() < width ? s.size() : width;
+    std::memcpy(buf_ + size_, s.data(), n);
+    std::memset(buf_ + size_ + n, 0, width - n);
+    size_ += width;
+    return *this;
+  }
+
+  Slice slice() const { return Slice(buf_, size_); }
+  Varstr varstr() const { return Varstr(slice()); }
+
+  void Reset() { size_ = 0; }
+
+ private:
+  void Put(const void* p, size_t n) {
+    ERMIA_CHECK(size_ + n <= kMaxKeySize);
+    std::memcpy(buf_ + size_, p, n);
+    size_ += n;
+  }
+
+  char buf_[kMaxKeySize];
+  size_t size_;
+};
+
+// Decodes in the same order the encoder wrote. Used by scans that need to
+// recover key components (e.g., order ids from an order index range).
+class KeyDecoder {
+ public:
+  explicit KeyDecoder(const Slice& s) : data_(s.data()), size_(s.size()), pos_(0) {}
+
+  uint32_t U32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | static_cast<uint8_t>(Next());
+    return v;
+  }
+
+  uint64_t U64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | static_cast<uint8_t>(Next());
+    return v;
+  }
+
+  int64_t I64() { return static_cast<int64_t>(U64() ^ (1ull << 63)); }
+
+  Slice Str(size_t width) {
+    ERMIA_CHECK(pos_ + width <= size_);
+    Slice s(data_ + pos_, width);
+    pos_ += width;
+    return s;
+  }
+
+ private:
+  char Next() {
+    ERMIA_CHECK(pos_ < size_);
+    return data_[pos_++];
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_;
+};
+
+}  // namespace ermia
+
+#endif  // ERMIA_COMMON_KEY_ENCODER_H_

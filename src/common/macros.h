@@ -1,0 +1,40 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// Low-level compiler and platform helpers shared across the codebase.
+#ifndef ERMIA_COMMON_MACROS_H_
+#define ERMIA_COMMON_MACROS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#define ERMIA_LIKELY(x) __builtin_expect(!!(x), 1)
+#define ERMIA_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+// Hard invariant check that stays on in release builds. CC protocols and the
+// log manager rely on these invariants for correctness, not just debugging.
+#define ERMIA_CHECK(cond)                                                     \
+  do {                                                                        \
+    if (ERMIA_UNLIKELY(!(cond))) {                                            \
+      ::std::fprintf(stderr, "ERMIA_CHECK failed: %s at %s:%d\n", #cond,      \
+                     __FILE__, __LINE__);                                     \
+      ::std::abort();                                                         \
+    }                                                                         \
+  } while (0)
+
+#define ERMIA_DCHECK(cond) assert(cond)
+
+#define ERMIA_NO_COPY(Class)        \
+  Class(const Class&) = delete;     \
+  Class& operator=(const Class&) = delete
+
+namespace ermia {
+
+// Sized to the ubiquitous 64-byte line; used to pad hot shared counters so
+// independent atomics do not false-share.
+inline constexpr size_t kCacheLineSize = 64;
+
+}  // namespace ermia
+
+#endif  // ERMIA_COMMON_MACROS_H_

@@ -1,0 +1,86 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// Lightweight per-thread cycle accounting for the Fig. 11 component
+// breakdown (index vs indirection arrays vs log manager vs other). Disabled
+// by default; when enabled the engine brackets its hot sections with
+// ScopedCycleTimer. Counters are thread-local and merged by the harness.
+#ifndef ERMIA_COMMON_PROFILING_H_
+#define ERMIA_COMMON_PROFILING_H_
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace ermia {
+namespace prof {
+
+inline uint64_t Cycles() {
+#if defined(__x86_64__)
+  return __rdtsc();
+#else
+  // Fall back to a nanosecond clock; "cycles" become nanoseconds.
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+#endif
+}
+
+struct Counters {
+  uint64_t index_cycles = 0;
+  uint64_t indirection_cycles = 0;
+  uint64_t log_cycles = 0;
+  uint64_t epoch_cycles = 0;
+  uint64_t total_cycles = 0;
+  uint64_t transactions = 0;
+
+  void Add(const Counters& o) {
+    index_cycles += o.index_cycles;
+    indirection_cycles += o.indirection_cycles;
+    log_cycles += o.log_cycles;
+    epoch_cycles += o.epoch_cycles;
+    total_cycles += o.total_cycles;
+    transactions += o.transactions;
+  }
+};
+
+// Global enable switch (set by the Fig. 11 bench before its run).
+inline std::atomic<bool> g_enabled{false};
+
+inline bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+inline void Enable(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+// Per-thread counters; the harness reads and resets them between runs.
+inline thread_local Counters t_counters;
+
+class ScopedCycleTimer {
+ public:
+  explicit ScopedCycleTimer(uint64_t* acc)
+      : acc_(Enabled() ? acc : nullptr), start_(acc_ ? Cycles() : 0) {}
+  ~ScopedCycleTimer() {
+    if (acc_ != nullptr) *acc_ += Cycles() - start_;
+  }
+
+ private:
+  uint64_t* acc_;
+  uint64_t start_;
+};
+
+#define ERMIA_PROF_INDEX() \
+  ::ermia::prof::ScopedCycleTimer _pt_idx(&::ermia::prof::t_counters.index_cycles)
+#define ERMIA_PROF_INDIRECTION()  \
+  ::ermia::prof::ScopedCycleTimer \
+      _pt_ind(&::ermia::prof::t_counters.indirection_cycles)
+#define ERMIA_PROF_LOG() \
+  ::ermia::prof::ScopedCycleTimer _pt_log(&::ermia::prof::t_counters.log_cycles)
+#define ERMIA_PROF_EPOCH()        \
+  ::ermia::prof::ScopedCycleTimer \
+      _pt_epoch(&::ermia::prof::t_counters.epoch_cycles)
+
+}  // namespace prof
+}  // namespace ermia
+
+#endif  // ERMIA_COMMON_PROFILING_H_

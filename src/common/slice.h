@@ -1,0 +1,63 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// Non-owning byte-range view used for keys and record payloads throughout the
+// engine (the LevelDB/RocksDB Slice idiom). Keys compare in unsigned
+// lexicographic (memcmp) order, which is the order the B+-tree maintains.
+#ifndef ERMIA_COMMON_SLICE_H_
+#define ERMIA_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace ermia {
+
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const void* data, size_t size)
+      : data_(static_cast<const char*>(data)), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* cstr) : data_(cstr), size_(std::strlen(cstr)) {}  // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  char operator[](size_t i) const { return data_[i]; }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  // memcmp order: negative if *this < other, 0 if equal, positive otherwise.
+  int compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = std::memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) return -1;
+      if (size_ > other.size_) return 1;
+    }
+    return r;
+  }
+
+  bool operator==(const Slice& other) const {
+    return size_ == other.size_ && std::memcmp(data_, other.data_, size_) == 0;
+  }
+  bool operator!=(const Slice& other) const { return !(*this == other); }
+  bool operator<(const Slice& other) const { return compare(other) < 0; }
+  bool operator<=(const Slice& other) const { return compare(other) <= 0; }
+
+  bool starts_with(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           std::memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace ermia
+
+#endif  // ERMIA_COMMON_SLICE_H_

@@ -1,0 +1,73 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// Minimal test-and-test-and-set spinlock with exponential backoff that yields
+// to the OS scheduler. Yielding matters: on machines with fewer hardware
+// threads than workers, a pure spin would livelock against the lock holder.
+#ifndef ERMIA_COMMON_SPIN_LATCH_H_
+#define ERMIA_COMMON_SPIN_LATCH_H_
+
+#include <atomic>
+#include <thread>
+
+#include "common/macros.h"
+
+namespace ermia {
+
+class SpinLatch {
+ public:
+  SpinLatch() = default;
+  ERMIA_NO_COPY(SpinLatch);
+
+  void Lock() {
+    int spins = 0;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) {
+        if (++spins > kSpinLimit) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool TryLock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void Unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  static constexpr int kSpinLimit = 64;
+  std::atomic<bool> locked_{false};
+};
+
+class SpinLatchGuard {
+ public:
+  explicit SpinLatchGuard(SpinLatch& latch) : latch_(latch) { latch_.Lock(); }
+  ~SpinLatchGuard() { latch_.Unlock(); }
+  ERMIA_NO_COPY(SpinLatchGuard);
+
+ private:
+  SpinLatch& latch_;
+};
+
+// Bounded spin helper for lock-free retry loops; yields under contention.
+class Backoff {
+ public:
+  void Pause() {
+    if (++spins_ > kSpinLimit) {
+      std::this_thread::yield();
+      spins_ = 0;
+    }
+  }
+
+ private:
+  static constexpr int kSpinLimit = 32;
+  int spins_ = 0;
+};
+
+}  // namespace ermia
+
+#endif  // ERMIA_COMMON_SPIN_LATCH_H_

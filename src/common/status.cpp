@@ -1,0 +1,42 @@
+#include "common/status.h"
+
+namespace ermia {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NOT_FOUND";
+    case Status::Code::kConflict:
+      return "CONFLICT";
+    case Status::Code::kAborted:
+      return "ABORTED";
+    case Status::Code::kPhantom:
+      return "PHANTOM";
+    case Status::Code::kKeyExists:
+      return "KEY_EXISTS";
+    case Status::Code::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Status::Code::kIOError:
+      return "IO_ERROR";
+    case Status::Code::kNotSupported:
+      return "NOT_SUPPORTED";
+    case Status::Code::kCorruption:
+      return "CORRUPTION";
+  }
+  return "UNKNOWN";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace ermia

@@ -1,0 +1,99 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// RocksDB/Arrow-style status codes. ERMIA never throws on hot paths; every
+// fallible operation returns a Status (or a value + Status pair). Concurrency
+// control outcomes are first-class codes so callers can distinguish "retry the
+// transaction" (kConflict/kAborted) from real errors.
+#ifndef ERMIA_COMMON_STATUS_H_
+#define ERMIA_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace ermia {
+
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,       // key/record absent (or invisible to this snapshot)
+    kConflict = 2,       // write-write conflict: first-updater-wins loss
+    kAborted = 3,        // CC validation failure (SSN exclusion, OCC read set)
+    kPhantom = 4,        // node-set validation failed
+    kKeyExists = 5,      // unique-index insert collision
+    kInvalidArgument = 6,
+    kIOError = 7,
+    kNotSupported = 8,
+    kCorruption = 9,     // log/recovery integrity violation
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Conflict(std::string msg = "") {
+    return Status(Code::kConflict, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status Phantom(std::string msg = "") {
+    return Status(Code::kPhantom, std::move(msg));
+  }
+  static Status KeyExists(std::string msg = "") {
+    return Status(Code::kKeyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsConflict() const { return code_ == Code::kConflict; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsPhantom() const { return code_ == Code::kPhantom; }
+  bool IsKeyExists() const { return code_ == Code::kKeyExists; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+
+  // True for any outcome that should cause the enclosing transaction to abort
+  // and (typically) retry: WW conflicts, validation failures, phantoms.
+  bool ShouldAbort() const {
+    return code_ == Code::kConflict || code_ == Code::kAborted ||
+           code_ == Code::kPhantom;
+  }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  // Human-readable "CODE: message" string for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+// Propagate non-OK statuses up the call chain (Arrow's RETURN_NOT_OK idiom).
+#define ERMIA_RETURN_NOT_OK(expr)             \
+  do {                                        \
+    ::ermia::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace ermia
+
+#endif  // ERMIA_COMMON_STATUS_H_

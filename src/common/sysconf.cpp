@@ -1,0 +1,61 @@
+#include "common/sysconf.h"
+
+#include <mutex>
+
+namespace ermia {
+
+namespace {
+
+struct Slot {
+  std::atomic<bool> in_use{false};
+};
+
+Slot g_slots[kMaxThreads];
+std::atomic<uint32_t> g_high_water{0};
+
+uint32_t Acquire() {
+  for (uint32_t i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (g_slots[i].in_use.compare_exchange_strong(expected, true,
+                                                  std::memory_order_acq_rel)) {
+      uint32_t hwm = g_high_water.load(std::memory_order_relaxed);
+      while (hwm < i + 1 && !g_high_water.compare_exchange_weak(
+                                hwm, i + 1, std::memory_order_relaxed)) {
+      }
+      return i;
+    }
+  }
+  ERMIA_CHECK(!"thread registry exhausted: raise kMaxThreads");
+  return 0;
+}
+
+struct Registration {
+  uint32_t id = UINT32_MAX;
+  ~Registration() {
+    if (id != UINT32_MAX) {
+      g_slots[id].in_use.store(false, std::memory_order_release);
+    }
+  }
+};
+
+thread_local Registration t_reg;
+
+}  // namespace
+
+uint32_t ThreadRegistry::MyId() {
+  if (ERMIA_UNLIKELY(t_reg.id == UINT32_MAX)) t_reg.id = Acquire();
+  return t_reg.id;
+}
+
+void ThreadRegistry::Deregister() {
+  if (t_reg.id != UINT32_MAX) {
+    g_slots[t_reg.id].in_use.store(false, std::memory_order_release);
+    t_reg.id = UINT32_MAX;
+  }
+}
+
+uint32_t ThreadRegistry::HighWaterMark() {
+  return g_high_water.load(std::memory_order_acquire);
+}
+
+}  // namespace ermia

@@ -1,0 +1,3 @@
+// Intentionally minimal: Varstr is header-only today; this TU anchors the
+// header in the build so include hygiene is compiler-checked.
+#include "common/varstr.h"

@@ -1,0 +1,52 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// Owned, bounded-length byte string used for index keys. Keys in ERMIA are
+// binary-comparable encodings (see key_encoder.h); Varstr keeps small keys
+// inline so tree nodes and node sets avoid heap traffic.
+#ifndef ERMIA_COMMON_VARSTR_H_
+#define ERMIA_COMMON_VARSTR_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/macros.h"
+#include "common/slice.h"
+
+namespace ermia {
+
+// Maximum encoded key size supported by the index layer. Generous for both
+// TPC benchmarks (longest is the customer-name secondary key).
+inline constexpr size_t kMaxKeySize = 64;
+
+class Varstr {
+ public:
+  Varstr() : size_(0) {}
+  explicit Varstr(const Slice& s) { Assign(s); }
+
+  void Assign(const Slice& s) {
+    ERMIA_CHECK(s.size() <= kMaxKeySize);
+    size_ = static_cast<uint16_t>(s.size());
+    std::memcpy(data_, s.data(), s.size());
+  }
+
+  Slice slice() const { return Slice(data_, size_); }
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  int compare(const Varstr& other) const {
+    return slice().compare(other.slice());
+  }
+  bool operator==(const Varstr& other) const {
+    return slice() == other.slice();
+  }
+  bool operator<(const Varstr& other) const { return compare(other) < 0; }
+
+ private:
+  uint16_t size_;
+  char data_[kMaxKeySize];
+};
+
+}  // namespace ermia
+
+#endif  // ERMIA_COMMON_VARSTR_H_

@@ -1,0 +1,128 @@
+#include "engine/database.h"
+
+#include <chrono>
+
+namespace ermia {
+
+Database::Database(EngineConfig config)
+    : config_(std::move(config)), log_(config_) {
+  gc_ = std::make_unique<GarbageCollector>(&gc_epoch_, [this] {
+    return tids_.OldestActiveBegin(log_.CurrentOffset());
+  });
+}
+
+Database::~Database() { Close(); }
+
+Status Database::Open() {
+  ERMIA_CHECK(!open_);
+  ERMIA_RETURN_NOT_OK(log_.Open());
+  occ_snapshot_.store(log_.CurrentOffset(), std::memory_order_release);
+  if (config_.enable_gc) gc_->Start(config_.gc_interval_ms);
+  stop_daemons_.store(false);
+  snapshot_daemon_ = std::thread([this] {
+    while (!stop_daemons_.load(std::memory_order_acquire)) {
+      RefreshOccSnapshot();
+      // Keep the finer-grained epoch managers ticking (paper §3.4: multiple
+      // timelines at different granularities).
+      tid_epoch_.Advance();
+      tid_epoch_.RunReclaimers();
+      rcu_epoch_.Advance();
+      rcu_epoch_.RunReclaimers();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.occ_snapshot_interval_ms));
+    }
+    ThreadRegistry::Deregister();
+  });
+  if (config_.checkpoint_interval_ms > 0 && !log_.in_memory()) {
+    checkpoint_daemon_ = std::thread([this] {
+      while (!stop_daemons_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(config_.checkpoint_interval_ms));
+        if (stop_daemons_.load(std::memory_order_acquire)) break;
+        if (TakeCheckpoint(nullptr).ok()) {
+          checkpoints_taken_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      ThreadRegistry::Deregister();
+    });
+  }
+  open_ = true;
+  return Status::OK();
+}
+
+void Database::Close() {
+  if (!open_) return;
+  stop_daemons_.store(true);
+  if (snapshot_daemon_.joinable()) snapshot_daemon_.join();
+  if (checkpoint_daemon_.joinable()) checkpoint_daemon_.join();
+  gc_->Stop();
+  log_.Close();
+  open_ = false;
+}
+
+Table* Database::CreateTable(const std::string& name) {
+  ERMIA_CHECK(tables_by_name_.find(name) == tables_by_name_.end());
+  const Fid fid = static_cast<Fid>(by_fid_.size() + 1);
+  auto table = std::make_unique<Table>(fid, name);
+  Table* raw = table.get();
+  tables_.push_back(std::move(table));
+  table_list_.push_back(raw);
+  tables_by_name_.emplace(name, raw);
+  by_fid_.push_back(raw);
+  fid_is_table_.push_back(true);
+  return raw;
+}
+
+Index* Database::CreateIndex(Table* table, const std::string& name) {
+  ERMIA_CHECK(indexes_by_name_.find(name) == indexes_by_name_.end());
+  const Fid fid = static_cast<Fid>(by_fid_.size() + 1);
+  auto index = std::make_unique<Index>(fid, name, table);
+  Index* raw = index.get();
+  indexes_.push_back(std::move(index));
+  index_list_.push_back(raw);
+  indexes_by_name_.emplace(name, raw);
+  by_fid_.push_back(raw);
+  fid_is_table_.push_back(false);
+  return raw;
+}
+
+Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_by_name_.find(name);
+  return it == tables_by_name_.end() ? nullptr : it->second;
+}
+
+Index* Database::GetIndex(const std::string& name) const {
+  auto it = indexes_by_name_.find(name);
+  return it == indexes_by_name_.end() ? nullptr : it->second;
+}
+
+Table* Database::TableByFid(Fid fid) const {
+  if (fid == 0 || fid > by_fid_.size() || !fid_is_table_[fid - 1]) {
+    return nullptr;
+  }
+  return static_cast<Table*>(by_fid_[fid - 1]);
+}
+
+DatabaseStats Database::GetStats() const {
+  DatabaseStats s;
+  s.log_current_offset = log_.CurrentOffset();
+  s.log_durable_offset = log_.DurableOffset();
+  s.log_skip_blocks = log_.skip_blocks();
+  s.log_dead_zone_bytes = log_.dead_zone_bytes();
+  s.log_segment_rotations = log_.segment_rotations();
+  s.gc_versions_reclaimed = gc_->total_reclaimed();
+  s.occ_snapshot_offset = occ_snapshot_.load(std::memory_order_acquire);
+  s.checkpoints_taken = checkpoints_taken_.load(std::memory_order_relaxed);
+  s.num_tables = table_list_.size();
+  s.num_indexes = index_list_.size();
+  return s;
+}
+
+Index* Database::IndexByFid(Fid fid) const {
+  if (fid == 0 || fid > by_fid_.size() || fid_is_table_[fid - 1]) {
+    return nullptr;
+  }
+  return static_cast<Index*>(by_fid_[fid - 1]);
+}
+
+}  // namespace ermia

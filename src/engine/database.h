@@ -1,0 +1,138 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// Engine facade: owns the physical layer (log manager, TID manager, epoch
+// managers, garbage collector), the catalog (tables and indexes sharing one
+// FID space), and the recovery/checkpoint machinery. Applications create
+// schema objects once, then run Transactions against them.
+#ifndef ERMIA_ENGINE_DATABASE_H_
+#define ERMIA_ENGINE_DATABASE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/lock_manager.h"
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/sysconf.h"
+#include "epoch/epoch_manager.h"
+#include "log/log_manager.h"
+#include "storage/gc.h"
+#include "storage/table.h"
+#include "txn/tid_manager.h"
+#include "txn/transaction.h"
+
+namespace ermia {
+
+// Aggregate engine counters for monitoring and tests.
+struct DatabaseStats {
+  uint64_t log_current_offset = 0;
+  uint64_t log_durable_offset = 0;
+  uint64_t log_skip_blocks = 0;
+  uint64_t log_dead_zone_bytes = 0;
+  uint64_t log_segment_rotations = 0;
+  uint64_t gc_versions_reclaimed = 0;
+  uint64_t occ_snapshot_offset = 0;
+  uint64_t checkpoints_taken = 0;
+  size_t num_tables = 0;
+  size_t num_indexes = 0;
+};
+
+class Database {
+ public:
+  explicit Database(EngineConfig config);
+  ~Database();
+  ERMIA_NO_COPY(Database);
+
+  // Starts the log, garbage collector, and snapshot daemon.
+  Status Open();
+  void Close();
+
+  // ---- catalog ----
+  // Schema creation is single-threaded (startup/recovery time). FIDs are
+  // assigned in creation order, so re-creating the same schema in the same
+  // order before Recover() reproduces the FID mapping.
+  Table* CreateTable(const std::string& name);
+  Index* CreateIndex(Table* table, const std::string& name);
+  Table* GetTable(const std::string& name) const;
+  Index* GetIndex(const std::string& name) const;
+  Table* TableByFid(Fid fid) const;
+  Index* IndexByFid(Fid fid) const;
+  const std::vector<Table*>& tables() const { return table_list_; }
+  const std::vector<Index*>& index_list() const { return index_list_; }
+
+  // ---- durability ----
+  // Fuzzy checkpoint of the OID arrays (paper §3.7): per-index (key, oid,
+  // clsn, log address) dumps plus a marker file; returns the checkpoint's
+  // begin offset.
+  Status TakeCheckpoint(uint64_t* begin_offset = nullptr);
+
+  // Rebuilds OID arrays and indexes from the latest checkpoint (if any) and
+  // the log tail. Call after re-creating the schema, before running
+  // transactions.
+  Status Recover();
+
+  // ---- introspection ----
+  DatabaseStats GetStats() const;
+
+  // ---- physical layer access ----
+  LogManager& log() { return log_; }
+  TidManager& tids() { return tids_; }
+  RecordLockTable& lock_table() { return lock_table_; }
+  GarbageCollector& gc() { return *gc_; }
+  EpochManager& gc_epoch() { return gc_epoch_; }
+  EpochManager& rcu_epoch() { return rcu_epoch_; }
+  EpochManager& tid_epoch() { return tid_epoch_; }
+  const EngineConfig& config() const { return config_; }
+
+  // Read-only snapshot offset for OCC (Silo's snapshot mechanism): refreshed
+  // by a daemon every occ_snapshot_interval_ms.
+  uint64_t occ_snapshot_offset() const {
+    return occ_snapshot_.load(std::memory_order_acquire);
+  }
+  void RefreshOccSnapshot() {
+    occ_snapshot_.store(log_.CurrentOffset(), std::memory_order_release);
+  }
+
+ private:
+  friend class Transaction;
+
+  // Serializes the SSN exclusion-window test + stamp publication. The test
+  // itself is a handful of loads/stores; serializing it gives a total order
+  // of SSN finalizations that closes the reader/overwriter races the SSN
+  // paper's parallel-commit machinery exists for (see DESIGN.md).
+  SpinLatch ssn_commit_latch_;
+
+  EngineConfig config_;
+  LogManager log_;
+  TidManager tids_;
+  RecordLockTable lock_table_;  // 2PL baseline only
+  EpochManager gc_epoch_;   // version reclamation (coarse timescale)
+  EpochManager rcu_epoch_;  // structure memory (medium timescale)
+  EpochManager tid_epoch_;  // TID-table generations (fine timescale)
+  std::unique_ptr<GarbageCollector> gc_;
+
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::vector<std::unique_ptr<Index>> indexes_;
+  std::vector<Table*> table_list_;
+  std::vector<Index*> index_list_;
+  std::unordered_map<std::string, Table*> tables_by_name_;
+  std::unordered_map<std::string, Index*> indexes_by_name_;
+  // fid -> catalog object; tables and indexes share the space.
+  std::vector<void*> by_fid_;
+  std::vector<bool> fid_is_table_;
+
+  std::thread snapshot_daemon_;
+  std::thread checkpoint_daemon_;
+  std::atomic<bool> stop_daemons_{true};
+  std::atomic<uint64_t> occ_snapshot_{kLogStartOffset};
+  std::atomic<uint64_t> checkpoints_taken_{0};
+  bool open_ = false;
+};
+
+}  // namespace ermia
+
+#endif  // ERMIA_ENGINE_DATABASE_H_

@@ -1,0 +1,361 @@
+#include "log/log_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "log/log_scan.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+namespace ermia {
+
+namespace {
+// All reservations are multiples of the block-header size so every non-data
+// range inside a segment is large enough to hold a skip-block header.
+constexpr uint64_t kLogAlign = sizeof(LogBlockHeader);  // 32
+
+uint64_t AlignUp(uint64_t n) { return (n + kLogAlign - 1) & ~(kLogAlign - 1); }
+}  // namespace
+
+LogManager::LogManager(const EngineConfig& config)
+    : config_(config),
+      ring_(config.log_buffer_size),
+      tracker_(kLogStartOffset) {
+  ERMIA_CHECK((config.log_buffer_size & (config.log_buffer_size - 1)) == 0);
+  ERMIA_CHECK(config.log_segment_size % kLogAlign == 0);
+}
+
+LogManager::~LogManager() { Close(); }
+
+Status LogManager::Open() {
+  uint64_t start = kLogStartOffset;
+  bool resumed = false;
+  if (!config_.log_dir.empty()) {
+    ::mkdir(config_.log_dir.c_str(), 0755);  // best effort; Create* verifies
+    resumed = ResumeExistingLog(&start);
+  }
+  if (!resumed) {
+    std::lock_guard<std::mutex> g(segment_mu_);
+    ERMIA_CHECK(segments_.empty());
+    auto seg = std::make_unique<LogSegment>();
+    seg->segnum = 0;
+    seg->start_offset = kLogStartOffset;
+    seg->end_offset = kLogStartOffset + config_.log_segment_size;
+    ERMIA_RETURN_NOT_OK(CreateSegmentFile(config_.log_dir, seg.get()));
+    latest_segment_.store(seg.get(), std::memory_order_release);
+    segments_.push_back(std::move(seg));
+  }
+  next_offset_.store(start, std::memory_order_release);
+  durable_offset_.store(start, std::memory_order_release);
+  tracker_.Reset(start);
+  stop_.store(false);
+  flusher_ = std::thread([this] { FlusherLoop(); });
+  return Status::OK();
+}
+
+// Re-adopts segment files left by a previous incarnation: the durable prefix
+// up to the first hole is kept, the rest (torn tail, segments never durably
+// reached) is truncated away so stale blocks can never be mistaken for new
+// ones after the next crash.
+bool LogManager::ResumeExistingLog(uint64_t* tail_out) {
+  LogScanner scanner(config_.log_dir);
+  if (!scanner.Init().ok() || scanner.segments().empty()) return false;
+  const uint64_t tail = scanner.FindTail();
+
+  std::lock_guard<std::mutex> g(segment_mu_);
+  ERMIA_CHECK(segments_.empty());
+  for (const LogSegment& found : scanner.segments()) {
+    if (found.start_offset >= tail) {
+      ::unlink(found.path.c_str());  // never durably reached
+      continue;
+    }
+    auto seg = std::make_unique<LogSegment>();
+    *seg = found;
+    seg->fd = ::open(seg->path.c_str(), O_RDWR);
+    ERMIA_CHECK(seg->fd >= 0);
+    if (seg->end_offset > tail) {
+      // Segment containing the tail: chop the torn suffix.
+      ERMIA_CHECK(::ftruncate(seg->fd, static_cast<off_t>(
+                                           tail - seg->start_offset)) == 0);
+    }
+    segments_.push_back(std::move(seg));
+  }
+  if (segments_.empty()) return false;
+  latest_segment_.store(segments_.back().get(), std::memory_order_release);
+  *tail_out = tail;
+  return true;
+}
+
+void LogManager::Close() {
+  if (!flusher_.joinable()) return;
+  stop_.store(true);
+  flush_cv_.notify_all();
+  flusher_.join();
+  FlushOnce();  // drain whatever completed before stop
+  std::lock_guard<std::mutex> g(segment_mu_);
+  for (auto& seg : segments_) {
+    if (seg->fd >= 0) {
+      ::close(seg->fd);
+      seg->fd = -1;
+    }
+  }
+}
+
+Lsn LogManager::ReserveBlock(uint32_t size) {
+  const uint64_t asize = AlignUp(size);
+  ERMIA_CHECK(asize > 0 && asize <= config_.log_buffer_size / 4);
+  ERMIA_CHECK(asize <= config_.log_segment_size / 4);
+  for (;;) {
+    const uint64_t off = next_offset_.fetch_add(asize, std::memory_order_seq_cst);
+    const LogSegment* seg = PlaceBlock(off, static_cast<uint32_t>(asize));
+    if (ERMIA_LIKELY(seg != nullptr)) return Lsn::Make(off, seg->segnum);
+    // Reservation fell into a dead zone or closed a segment; try again.
+  }
+}
+
+const LogSegment* LogManager::PlaceBlock(uint64_t offset, uint32_t size) {
+  const LogSegment* latest = latest_segment_.load(std::memory_order_acquire);
+  if (ERMIA_LIKELY(latest->Contains(offset, size))) return latest;
+
+  // Work items computed under the mutex, applied after release: WriteSkip can
+  // block on the flusher, and the flusher takes segment_mu_.
+  struct Cover {
+    const LogSegment* seg;  // nullptr => dead-zone hole
+    uint64_t begin;
+    uint64_t end;
+  };
+  std::vector<Cover> covers;
+  {
+    std::lock_guard<std::mutex> g(segment_mu_);
+    // A containing segment may exist already (we raced with an opener).
+    for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+      if ((*it)->Contains(offset, size)) return it->get();
+      if ((*it)->end_offset <= offset) break;  // older ones end even earlier
+    }
+    const LogSegment* last = segments_.back().get();
+    if (offset >= last->end_offset) {
+      // Beyond every segment: this thread wins the race to open the next one,
+      // which starts at its own block (bytes between the old end and `offset`
+      // belong to other reservations and become dead zone / skips).
+      const LogSegment* seg = OpenSegmentAt(offset);
+      ERMIA_CHECK(seg->Contains(offset, size));
+      return seg;
+    }
+    // The block overlaps a segment boundary or a dead zone. If it straddles
+    // the *last* segment's tail, open the successor first (back-to-back) so
+    // the overflow bytes become a skip block at the head of the new segment
+    // rather than an unwritten hole inside it — the scan must find a valid
+    // block wherever a segment file has bytes.
+    const uint64_t end = offset + size;
+    if (offset < last->end_offset && end > last->end_offset) {
+      OpenSegmentAt(last->end_offset);
+    }
+    uint64_t pos = offset;
+    while (pos < end) {
+      const LogSegment* in = nullptr;
+      uint64_t next_start = end;
+      for (auto& s : segments_) {
+        if (pos >= s->start_offset && pos < s->end_offset) {
+          in = s.get();
+          break;
+        }
+        if (s->start_offset > pos) {
+          next_start = std::min(next_start, s->start_offset);
+        }
+      }
+      if (in != nullptr) {
+        const uint64_t cover_end = std::min(end, in->end_offset);
+        covers.push_back({in, pos, cover_end});
+        pos = cover_end;
+      } else {
+        covers.push_back({nullptr, pos, next_start});
+        pos = next_start;
+      }
+    }
+  }
+  for (const auto& c : covers) {
+    if (c.seg != nullptr) {
+      WriteSkip(c.seg, c.begin, c.end - c.begin);
+    } else {
+      tracker_.MarkHole(c.begin, c.end);
+      dead_zone_bytes_.fetch_add(c.end - c.begin, std::memory_order_relaxed);
+    }
+  }
+  flush_cv_.notify_one();
+  return nullptr;
+}
+
+const LogSegment* LogManager::OpenSegmentAt(uint64_t start) {
+  // Caller holds segment_mu_.
+  const LogSegment* last = segments_.back().get();
+  if (last->end_offset > start) return last;  // someone beat us to it
+  auto seg = std::make_unique<LogSegment>();
+  seg->segnum = (last->segnum + 1) % kNumLogSegments;
+  seg->start_offset = start;
+  seg->end_offset = start + config_.log_segment_size;
+  Status s = CreateSegmentFile(config_.log_dir, seg.get());
+  ERMIA_CHECK(s.ok());
+  const LogSegment* raw = seg.get();
+  segments_.push_back(std::move(seg));
+  latest_segment_.store(raw, std::memory_order_release);
+  rotations_.fetch_add(1, std::memory_order_relaxed);
+  return raw;
+}
+
+void LogManager::WriteSkip(const LogSegment* seg, uint64_t offset,
+                           uint64_t size) {
+  ERMIA_DCHECK(size >= sizeof(LogBlockHeader));
+  ERMIA_DCHECK(offset >= seg->start_offset &&
+               offset + size <= seg->end_offset);
+  LogBlockHeader hdr{};
+  hdr.magic = kLogBlockMagic;
+  hdr.type = LogBlockType::kSkip;
+  hdr.offset = offset;
+  hdr.total_size = static_cast<uint32_t>(size);
+  hdr.num_records = 0;
+  hdr.payload_bytes = 0;
+  hdr.checksum = 0;
+  WaitForBufferSpace(offset + sizeof hdr);
+  ring_.Write(offset, &hdr, sizeof hdr);
+  tracker_.MarkData(offset, offset + sizeof hdr);
+  if (size > sizeof hdr) tracker_.MarkHole(offset + sizeof hdr, offset + size);
+  skip_blocks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LogManager::InstallBlock(Lsn lsn, const void* block, uint32_t size) {
+  const uint64_t off = lsn.offset();
+  const uint64_t asize = AlignUp(size);
+  WaitForBufferSpace(off + asize);
+  ring_.Write(off, block, size);
+  if (asize > size) {
+    // Zero the alignment padding so scans see deterministic bytes.
+    static const char kZeros[kLogAlign] = {};
+    ring_.Write(off + size, kZeros, asize - size);
+  }
+  tracker_.MarkData(off, off + asize);
+  // No wakeup here: the flusher polls on a 1ms tick (group commit), so the
+  // common commit path stays syscall-free. Waiters (synchronous commits,
+  // buffer backpressure) nudge the flusher themselves.
+}
+
+void LogManager::InstallSkip(Lsn lsn, uint32_t size) {
+  const uint64_t asize = AlignUp(size);
+  const LogSegment* seg = nullptr;
+  {
+    std::lock_guard<std::mutex> g(segment_mu_);
+    for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+      if ((*it)->Contains(lsn.offset(), asize)) {
+        seg = it->get();
+        break;
+      }
+    }
+  }
+  ERMIA_CHECK(seg != nullptr);
+  WriteSkip(seg, lsn.offset(), asize);
+  flush_cv_.notify_one();
+}
+
+void LogManager::WaitForBufferSpace(uint64_t end_offset) {
+  if (ERMIA_LIKELY(end_offset <=
+                   durable_offset_.load(std::memory_order_acquire) +
+                       ring_.capacity())) {
+    return;
+  }
+  std::unique_lock<std::mutex> lk(flush_mu_);
+  flush_cv_.notify_all();
+  durable_cv_.wait(lk, [&] {
+    return end_offset <=
+           durable_offset_.load(std::memory_order_acquire) + ring_.capacity();
+  });
+}
+
+void LogManager::WaitForDurable(uint64_t offset) {
+  if (durable_offset_.load(std::memory_order_acquire) >= offset) return;
+  std::unique_lock<std::mutex> lk(flush_mu_);
+  flush_cv_.notify_all();
+  durable_cv_.wait(lk, [&] {
+    return durable_offset_.load(std::memory_order_acquire) >= offset;
+  });
+}
+
+void LogManager::FlusherLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    {
+      std::unique_lock<std::mutex> lk(flush_mu_);
+      flush_cv_.wait_for(lk, std::chrono::milliseconds(1));
+    }
+    FlushOnce();
+  }
+}
+
+void LogManager::FlushOnce() {
+  const uint64_t target = tracker_.complete_until();
+  const uint64_t durable = durable_offset_.load(std::memory_order_acquire);
+  if (target <= durable) return;
+  auto ranges = tracker_.TakeCompleted(target);
+  if (!in_memory()) {
+    std::vector<char> buf;
+    std::vector<LogSegment*> touched;
+    for (const auto& r : ranges) {
+      if (!r.has_data) continue;
+      LogSegment* seg = nullptr;
+      {
+        std::lock_guard<std::mutex> g(segment_mu_);
+        for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+          if (r.begin >= (*it)->start_offset && r.end <= (*it)->end_offset) {
+            seg = it->get();
+            break;
+          }
+        }
+      }
+      ERMIA_CHECK(seg != nullptr);
+      const uint64_t n = r.end - r.begin;
+      buf.resize(n);
+      ring_.Read(r.begin, buf.data(), n);
+      ssize_t written = ::pwrite(seg->fd, buf.data(), n,
+                                 static_cast<off_t>(seg->FileOffset(r.begin)));
+      ERMIA_CHECK(written == static_cast<ssize_t>(n));
+      if (config_.synchronous_commit &&
+          (touched.empty() || touched.back() != seg)) {
+        touched.push_back(seg);
+      }
+    }
+    for (LogSegment* seg : touched) ::fdatasync(seg->fd);
+  }
+  {
+    std::lock_guard<std::mutex> lk(flush_mu_);
+    durable_offset_.store(target, std::memory_order_release);
+  }
+  durable_cv_.notify_all();
+}
+
+Status LogManager::ReadDurable(uint64_t offset, void* dst,
+                               uint32_t size) const {
+  if (in_memory()) return Status::NotSupported("in-memory log");
+  std::lock_guard<std::mutex> g(segment_mu_);
+  for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+    const LogSegment* seg = it->get();
+    if (offset >= seg->start_offset && offset + size <= seg->end_offset) {
+      ssize_t n = ::pread(seg->fd, dst, size,
+                          static_cast<off_t>(seg->FileOffset(offset)));
+      if (n != static_cast<ssize_t>(size)) {
+        return Status::IOError("short log read");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("offset not mapped by any segment");
+}
+
+std::vector<LogSegment> LogManager::Segments() const {
+  std::lock_guard<std::mutex> g(segment_mu_);
+  std::vector<LogSegment> out;
+  out.reserve(segments_.size());
+  for (auto& seg : segments_) out.push_back(*seg);
+  return out;
+}
+
+}  // namespace ermia

@@ -1,0 +1,180 @@
+#include "log/log_scan.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace ermia {
+
+namespace {
+constexpr uint64_t kHeaderSize = sizeof(LogBlockHeader);
+}
+
+LogScanner::LogScanner(std::string dir) : dir_(std::move(dir)) {}
+
+LogScanner::~LogScanner() {
+  for (auto& seg : segments_) {
+    if (seg.fd >= 0) ::close(seg.fd);
+  }
+}
+
+Status LogScanner::Init() {
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return Status::IOError("cannot open log dir " + dir_);
+  struct dirent* ent;
+  while ((ent = ::readdir(d)) != nullptr) {
+    uint32_t segnum;
+    uint64_t start, end;
+    if (!ParseSegmentFileName(ent->d_name, &segnum, &start, &end)) continue;
+    LogSegment seg;
+    seg.segnum = segnum;
+    seg.start_offset = start;
+    seg.end_offset = end;
+    seg.path = dir_ + "/" + ent->d_name;
+    seg.fd = ::open(seg.path.c_str(), O_RDONLY);
+    if (seg.fd < 0) {
+      ::closedir(d);
+      return Status::IOError("cannot open segment " + seg.path);
+    }
+    segments_.push_back(seg);
+  }
+  ::closedir(d);
+  std::sort(segments_.begin(), segments_.end(),
+            [](const LogSegment& a, const LogSegment& b) {
+              return a.start_offset < b.start_offset;
+            });
+  return Status::OK();
+}
+
+Status LogScanner::Scan(uint64_t from_offset,
+                        const std::function<void(const ScannedBlock&)>& cb) {
+  bool stop = false;
+  for (const auto& seg : segments_) {
+    if (seg.end_offset <= from_offset) continue;
+    ERMIA_RETURN_NOT_OK(ScanSegment(seg, from_offset, cb, &stop));
+    if (stop) break;
+  }
+  return Status::OK();
+}
+
+Status LogScanner::ScanSegment(
+    const LogSegment& seg, uint64_t from_offset,
+    const std::function<void(const ScannedBlock&)>& cb, bool* stop) {
+  struct stat st;
+  if (::fstat(seg.fd, &st) != 0) return Status::IOError("fstat failed");
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+
+  uint64_t pos = 0;
+  if (from_offset > seg.start_offset) pos = from_offset - seg.start_offset;
+
+  std::vector<char> payload;
+  while (pos + kHeaderSize <= file_size) {
+    LogBlockHeader hdr;
+    if (::pread(seg.fd, &hdr, sizeof hdr, static_cast<off_t>(pos)) !=
+        static_cast<ssize_t>(sizeof hdr)) {
+      return Status::IOError("short header read");
+    }
+    if (hdr.magic != kLogBlockMagic ||
+        hdr.offset != seg.start_offset + pos ||
+        hdr.total_size < kHeaderSize) {
+      // First hole: everything beyond this point is not durably committed.
+      *stop = true;
+      return Status::OK();
+    }
+    if (hdr.type == LogBlockType::kSkip) {
+      pos += hdr.total_size;
+      continue;
+    }
+    payload.resize(hdr.payload_bytes);
+    if (hdr.payload_bytes > 0 &&
+        ::pread(seg.fd, payload.data(), hdr.payload_bytes,
+                static_cast<off_t>(pos + kHeaderSize)) !=
+            static_cast<ssize_t>(hdr.payload_bytes)) {
+      *stop = true;
+      return Status::OK();
+    }
+    if (LogChecksum(payload.data(), payload.size()) != hdr.checksum) {
+      *stop = true;  // torn block: truncate here
+      return Status::OK();
+    }
+
+    ScannedBlock block;
+    block.offset = hdr.offset;
+    const char* p = payload.data();
+    const char* end = p + payload.size();
+    for (uint32_t i = 0; i < hdr.num_records; ++i) {
+      if (p + sizeof(LogRecordHeader) > end) {
+        return Status::Corruption("record overruns block");
+      }
+      LogRecordHeader rh;
+      std::memcpy(&rh, p, sizeof rh);
+      p += sizeof rh;
+      if (p + rh.key_size + rh.payload_size > end) {
+        return Status::Corruption("record payload overruns block");
+      }
+      ScannedRecord rec;
+      rec.type = rh.type;
+      rec.fid = rh.fid;
+      rec.oid = rh.oid;
+      rec.key.assign(p, rh.key_size);
+      p += rh.key_size;
+      rec.payload_offset =
+          hdr.offset + kHeaderSize + static_cast<uint64_t>(p - payload.data());
+      rec.payload.assign(p, rh.payload_size);
+      p += rh.payload_size;
+      block.records.push_back(std::move(rec));
+    }
+    cb(block);
+    pos += hdr.total_size;
+  }
+  return Status::OK();
+}
+
+uint64_t LogScanner::FindTail() {
+  uint64_t tail =
+      segments_.empty() ? kLogStartOffset : segments_.front().start_offset;
+  bool stop = false;
+  for (const auto& seg : segments_) {
+    struct stat st;
+    if (::fstat(seg.fd, &st) != 0) break;
+    const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+    uint64_t pos = 0;
+    while (pos + sizeof(LogBlockHeader) <= file_size) {
+      LogBlockHeader hdr;
+      if (::pread(seg.fd, &hdr, sizeof hdr, static_cast<off_t>(pos)) !=
+          static_cast<ssize_t>(sizeof hdr)) {
+        stop = true;
+        break;
+      }
+      if (hdr.magic != kLogBlockMagic || hdr.offset != seg.start_offset + pos ||
+          hdr.total_size < sizeof(LogBlockHeader)) {
+        stop = true;
+        break;
+      }
+      pos += hdr.total_size;
+      tail = seg.start_offset + pos;
+    }
+    if (stop) break;
+  }
+  return tail;
+}
+
+Status LogScanner::ReadAt(uint64_t offset, void* dst, uint32_t size) const {
+  for (const auto& seg : segments_) {
+    if (offset >= seg.start_offset && offset + size <= seg.end_offset) {
+      if (::pread(seg.fd, dst, size,
+                  static_cast<off_t>(offset - seg.start_offset)) !=
+          static_cast<ssize_t>(size)) {
+        return Status::IOError("short payload read");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("offset not in any segment");
+}
+
+}  // namespace ermia

@@ -1,0 +1,14 @@
+#include "log/lsn.h"
+
+#include <cstdio>
+
+namespace ermia {
+
+std::string Lsn::ToString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llx.%x",
+                static_cast<unsigned long long>(offset()), segment());
+  return buf;
+}
+
+}  // namespace ermia

@@ -1,0 +1,56 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// LSN encoding (paper §3.3, Fig. 4). The LSN space is monotonic but not
+// contiguous: the high 60 bits hold a logical byte offset, the low 4 bits the
+// modulo log-segment number that offset maps to. Putting the segment number
+// in the low bits preserves total order by offset, so CC visibility checks
+// compare raw LSN values directly.
+#ifndef ERMIA_LOG_LSN_H_
+#define ERMIA_LOG_LSN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ermia {
+
+inline constexpr unsigned kSegmentBits = 4;
+inline constexpr uint32_t kNumLogSegments = 1u << kSegmentBits;  // 16
+
+// First usable logical offset; offset 0 is reserved so Lsn(0) stays invalid.
+inline constexpr uint64_t kLogStartOffset = 64;
+
+class Lsn {
+ public:
+  constexpr Lsn() : value_(0) {}
+  constexpr explicit Lsn(uint64_t value) : value_(value) {}
+
+  static constexpr Lsn Make(uint64_t offset, uint32_t segment) {
+    return Lsn((offset << kSegmentBits) | (segment & (kNumLogSegments - 1)));
+  }
+
+  constexpr uint64_t offset() const { return value_ >> kSegmentBits; }
+  constexpr uint32_t segment() const {
+    return static_cast<uint32_t>(value_ & (kNumLogSegments - 1));
+  }
+  constexpr uint64_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != 0; }
+
+  constexpr bool operator==(const Lsn& o) const { return value_ == o.value_; }
+  constexpr bool operator!=(const Lsn& o) const { return value_ != o.value_; }
+  // Offset dominates the comparison because it lives in the high bits.
+  constexpr bool operator<(const Lsn& o) const { return value_ < o.value_; }
+  constexpr bool operator<=(const Lsn& o) const { return value_ <= o.value_; }
+  constexpr bool operator>(const Lsn& o) const { return value_ > o.value_; }
+  constexpr bool operator>=(const Lsn& o) const { return value_ >= o.value_; }
+
+  std::string ToString() const;
+
+ private:
+  uint64_t value_;
+};
+
+inline constexpr Lsn kInvalidLsn = Lsn();
+
+}  // namespace ermia
+
+#endif  // ERMIA_LOG_LSN_H_

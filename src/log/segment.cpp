@@ -1,0 +1,46 @@
+#include "log/segment.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ermia {
+
+std::string SegmentFileName(uint32_t segnum, uint64_t start, uint64_t end) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "log-%02x-%016" PRIx64 "-%016" PRIx64, segnum,
+                start, end);
+  return buf;
+}
+
+bool ParseSegmentFileName(const std::string& name, uint32_t* segnum,
+                          uint64_t* start, uint64_t* end) {
+  unsigned seg = 0;
+  uint64_t s = 0, e = 0;
+  if (std::sscanf(name.c_str(), "log-%02x-%16" SCNx64 "-%16" SCNx64, &seg, &s,
+                  &e) != 3) {
+    return false;
+  }
+  *segnum = seg;
+  *start = s;
+  *end = e;
+  return true;
+}
+
+Status CreateSegmentFile(const std::string& dir, LogSegment* seg) {
+  if (dir.empty()) {
+    seg->fd = -1;
+    return Status::OK();
+  }
+  seg->path =
+      dir + "/" + SegmentFileName(seg->segnum, seg->start_offset, seg->end_offset);
+  seg->fd = ::open(seg->path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
+  if (seg->fd < 0) {
+    return Status::IOError("cannot create log segment " + seg->path);
+  }
+  return Status::OK();
+}
+
+}  // namespace ermia

@@ -1,0 +1,51 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// Physical log segments (paper §3.3, Fig. 4a). A fixed number of modulo
+// segment numbers (16) map to physical files; each segment covers a
+// half-open range of the logical offset space and is named
+// "log-<segnum>-<start>-<end>" so the segment table can be rebuilt from file
+// names at recovery.
+#ifndef ERMIA_LOG_SEGMENT_H_
+#define ERMIA_LOG_SEGMENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "log/lsn.h"
+
+namespace ermia {
+
+struct LogSegment {
+  uint32_t segnum = 0;       // modulo segment number, 0..15
+  uint64_t start_offset = 0;  // first logical offset mapped by this segment
+  uint64_t end_offset = 0;    // one past the last mappable offset
+  int fd = -1;                // -1 when logging is in-memory only
+  std::string path;
+
+  bool Contains(uint64_t offset, uint64_t size) const {
+    return offset >= start_offset && offset + size <= end_offset;
+  }
+
+  // Byte position within the segment file for a logical offset.
+  uint64_t FileOffset(uint64_t offset) const {
+    ERMIA_DCHECK(offset >= start_offset && offset < end_offset);
+    return offset - start_offset;
+  }
+};
+
+// Builds the canonical file name for a segment.
+std::string SegmentFileName(uint32_t segnum, uint64_t start, uint64_t end);
+
+// Parses a segment file name; returns false if the name is not a segment.
+bool ParseSegmentFileName(const std::string& name, uint32_t* segnum,
+                          uint64_t* start, uint64_t* end);
+
+// Creates (and truncates) the segment file on disk. No-op if dir is empty.
+Status CreateSegmentFile(const std::string& dir, LogSegment* seg);
+
+}  // namespace ermia
+
+#endif  // ERMIA_LOG_SEGMENT_H_

@@ -1,0 +1,92 @@
+#include "storage/gc.h"
+
+#include <chrono>
+
+namespace ermia {
+
+GarbageCollector::GarbageCollector(EpochManager* gc_epoch,
+                                   std::function<uint64_t()> oldest_active)
+    : gc_epoch_(gc_epoch), oldest_active_(std::move(oldest_active)) {}
+
+GarbageCollector::~GarbageCollector() { Stop(); }
+
+void GarbageCollector::Start(uint64_t interval_ms) {
+  ERMIA_CHECK(stop_.load());
+  stop_.store(false);
+  daemon_ = std::thread([this, interval_ms] {
+    while (!stop_.load(std::memory_order_acquire)) {
+      RunOnce();
+      gc_epoch_->Advance();
+      gc_epoch_->RunReclaimers();
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    ThreadRegistry::Deregister();
+  });
+}
+
+void GarbageCollector::Stop() {
+  if (stop_.exchange(true)) return;
+  if (daemon_.joinable()) daemon_.join();
+  // Final sweep so tests observe deterministic reclamation.
+  RunOnce();
+  gc_epoch_->Advance();
+  gc_epoch_->Advance();
+  gc_epoch_->RunReclaimers();
+}
+
+void GarbageCollector::NotifyUpdate(Table* table, Oid oid) {
+  SpinLatchGuard g(queue_latch_);
+  queue_.push_back({table, oid});
+}
+
+size_t GarbageCollector::RunOnce() {
+  const uint64_t boundary = oldest_active_();
+  std::deque<Item> batch;
+  {
+    SpinLatchGuard g(queue_latch_);
+    batch.swap(queue_);
+  }
+  size_t reclaimed = 0;
+  for (const Item& item : batch) {
+    Version* head = item.table->array().Head(item.oid);
+    if (head == nullptr) continue;
+    // Find the newest version whose stamp is a committed LSN strictly below
+    // the boundary: visibility is `clsn < begin`, so this is the version the
+    // oldest active snapshot (begin == boundary) reads; everything older is
+    // unreachable to every current and future transaction.
+    Version* keep = head;
+    bool found_boundary_version = false;
+    while (keep != nullptr) {
+      const uint64_t s = keep->clsn.load(std::memory_order_acquire);
+      if (!IsTidStamp(s) && StampOffset(s) < boundary) {
+        found_boundary_version = true;
+        break;
+      }
+      keep = keep->next.load(std::memory_order_acquire);
+    }
+    if (!found_boundary_version || keep == nullptr) continue;
+    Version* dead = keep->next.exchange(nullptr, std::memory_order_acq_rel);
+    if (dead == nullptr) {
+      // Chain already fully trimmed; if newer uncommitted/recent versions
+      // exist the record will be re-enqueued by its next update anyway.
+      continue;
+    }
+    // Defer the frees until every thread active now has quiesced.
+    gc_epoch_->Defer([dead] {
+      Version* v = dead;
+      while (v != nullptr) {
+        Version* next = v->next.load(std::memory_order_relaxed);
+        Version::Free(v);
+        v = next;
+      }
+    });
+    for (Version* v = dead; v != nullptr;
+         v = v->next.load(std::memory_order_relaxed)) {
+      ++reclaimed;
+    }
+  }
+  total_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
+  return reclaimed;
+}
+
+}  // namespace ermia

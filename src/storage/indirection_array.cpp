@@ -1,0 +1,87 @@
+#include "storage/indirection_array.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ermia {
+
+IndirectionArray::IndirectionArray() {
+  for (auto& c : chunks_) c.store(nullptr, std::memory_order_relaxed);
+}
+
+IndirectionArray::~IndirectionArray() {
+  for (auto& c : chunks_) {
+    std::atomic<Version*>* chunk = c.load(std::memory_order_relaxed);
+    if (chunk == nullptr) continue;
+    for (uint32_t i = 0; i < kChunkSize; ++i) {
+      Version* v = chunk[i].load(std::memory_order_relaxed);
+      while (v != nullptr) {
+        Version* next = v->next.load(std::memory_order_relaxed);
+        Version::Free(v);
+        v = next;
+      }
+    }
+    std::free(chunk);
+  }
+}
+
+Oid IndirectionArray::Allocate() {
+  {
+    SpinLatchGuard g(free_latch_);
+    if (!free_list_.empty()) {
+      Oid oid = free_list_.back();
+      free_list_.pop_back();
+      return oid;
+    }
+  }
+  Oid oid = next_oid_.fetch_add(1, std::memory_order_relaxed);
+  ERMIA_CHECK(oid < kMaxChunks * kChunkSize);
+  (void)Slot(oid);  // make the slot addressable before handing it out
+  return oid;
+}
+
+void IndirectionArray::Free(Oid oid) {
+  SpinLatchGuard g(free_latch_);
+  free_list_.push_back(oid);
+}
+
+std::atomic<Version*>* IndirectionArray::Slot(Oid oid) {
+  const uint32_t chunk_idx = oid >> kChunkBits;
+  std::atomic<Version*>* chunk =
+      chunks_[chunk_idx].load(std::memory_order_acquire);
+  if (ERMIA_UNLIKELY(chunk == nullptr)) chunk = EnsureChunk(chunk_idx);
+  return &chunk[oid & (kChunkSize - 1)];
+}
+
+const std::atomic<Version*>* IndirectionArray::SlotIfExists(Oid oid) const {
+  const uint32_t chunk_idx = oid >> kChunkBits;
+  if (chunk_idx >= kMaxChunks) return nullptr;
+  std::atomic<Version*>* chunk =
+      chunks_[chunk_idx].load(std::memory_order_acquire);
+  if (chunk == nullptr) return nullptr;
+  return &chunk[oid & (kChunkSize - 1)];
+}
+
+std::atomic<Version*>* IndirectionArray::EnsureChunk(uint32_t chunk_idx) {
+  ERMIA_CHECK(chunk_idx < kMaxChunks);
+  auto* fresh = static_cast<std::atomic<Version*>*>(
+      std::calloc(kChunkSize, sizeof(std::atomic<Version*>)));
+  ERMIA_CHECK(fresh != nullptr);
+  std::atomic<Version*>* expected = nullptr;
+  if (!chunks_[chunk_idx].compare_exchange_strong(expected, fresh,
+                                                  std::memory_order_acq_rel)) {
+    std::free(fresh);
+    return expected;  // another thread published the chunk first
+  }
+  return fresh;
+}
+
+void IndirectionArray::EnsureAllocatedThrough(Oid oid) {
+  (void)Slot(oid);
+  Oid cur = next_oid_.load(std::memory_order_relaxed);
+  while (cur <= oid && !next_oid_.compare_exchange_weak(
+                           cur, oid + 1, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace ermia

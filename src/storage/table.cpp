@@ -1,0 +1,2 @@
+// Table/Index are header-only; this TU anchors the header in the build.
+#include "storage/table.h"

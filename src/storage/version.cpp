@@ -1,0 +1,37 @@
+#include "storage/version.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace ermia {
+
+Version* Version::Alloc(const Slice& payload, bool tombstone) {
+  const size_t bytes = sizeof(Version) + (tombstone ? 0 : payload.size());
+  void* mem = std::malloc(bytes);
+  ERMIA_CHECK(mem != nullptr);
+  Version* v = new (mem) Version();
+  v->tombstone = tombstone;
+  if (!tombstone) {
+    v->size = static_cast<uint32_t>(payload.size());
+    std::memcpy(v->data(), payload.data(), payload.size());
+  }
+  return v;
+}
+
+Version* Version::AllocStub(uint64_t log_ptr, uint32_t size) {
+  void* mem = std::malloc(sizeof(Version));
+  ERMIA_CHECK(mem != nullptr);
+  Version* v = new (mem) Version();
+  v->stub = true;
+  v->log_ptr = log_ptr;
+  v->size = size;
+  return v;
+}
+
+void Version::Free(Version* v) {
+  if (v == nullptr) return;
+  v->~Version();
+  std::free(v);
+}
+
+}  // namespace ermia

@@ -1,0 +1,70 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// Record versions (paper §3.1/§3.2). Each logical record (OID) points to a
+// latch-free singly linked chain of versions, newest first. A version's
+// creation stamp (`clsn`) is either the owning transaction's TID (high bit
+// set) while the transaction is in flight / pre-committing, or the commit LSN
+// after post-commit. SSN's per-version η (pstamp) and π (sstamp) live here
+// too (§3.6.2).
+#ifndef ERMIA_STORAGE_VERSION_H_
+#define ERMIA_STORAGE_VERSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#include "common/macros.h"
+#include "common/slice.h"
+#include "log/lsn.h"
+
+namespace ermia {
+
+// Stamp word encoding: TID stamps carry the high bit; LSN stamps are raw
+// Lsn::value()s (their offsets never reach bit 63).
+inline constexpr uint64_t kTidStampFlag = 1ull << 63;
+inline constexpr uint64_t kInfinityStamp = UINT64_MAX & ~kTidStampFlag;
+
+inline bool IsTidStamp(uint64_t s) { return (s & kTidStampFlag) != 0; }
+inline uint64_t MakeTidStamp(uint64_t tid) { return tid | kTidStampFlag; }
+inline uint64_t TidFromStamp(uint64_t s) { return s & ~kTidStampFlag; }
+// Comparable commit position of an LSN stamp.
+inline uint64_t StampOffset(uint64_t s) {
+  ERMIA_DCHECK(!IsTidStamp(s));
+  return Lsn(s).offset();
+}
+
+struct Version {
+  std::atomic<Version*> next{nullptr};
+  std::atomic<uint64_t> clsn{0};
+  // SSN stamps, meaningful once the creating/overwriting transactions commit:
+  // pstamp = η(V): commit stamp of V's most recent committed reader.
+  // sstamp = π(U): successor stamp of the transaction that overwrote V
+  //                (kInfinityStamp while V is the latest version).
+  std::atomic<uint64_t> pstamp{0};
+  std::atomic<uint64_t> sstamp{kInfinityStamp};
+  // Logical log offset of this version's payload (its durable address), set
+  // during pre-commit when the log block is serialized.
+  uint64_t log_ptr{0};
+  uint32_t size{0};
+  bool tombstone{false};
+  // Anti-caching stub (paper §3.7): the payload was not loaded at recovery;
+  // `size` bytes live in the log at `log_ptr` and are faulted in on first
+  // access (the engine swaps the stub for a materialized version).
+  bool stub{false};
+
+  // Payload bytes follow the struct.
+  char* data() { return reinterpret_cast<char*>(this + 1); }
+  const char* data() const { return reinterpret_cast<const char*>(this + 1); }
+  Slice value() const { return Slice(data(), size); }
+
+  // Allocates a version with a copy of `payload`. Tombstones carry no bytes.
+  static Version* Alloc(const Slice& payload, bool tombstone = false);
+  // Allocates a payload-less stub referencing `size` durable bytes at
+  // `log_ptr` (lazy recovery).
+  static Version* AllocStub(uint64_t log_ptr, uint32_t size);
+  static void Free(Version* v);
+};
+
+}  // namespace ermia
+
+#endif  // ERMIA_STORAGE_VERSION_H_

@@ -1,0 +1,496 @@
+#include "txn/transaction.h"
+
+#include <cstring>
+
+#include "common/profiling.h"
+#include "engine/database.h"
+
+namespace ermia {
+
+const char* CcSchemeName(CcScheme scheme) {
+  switch (scheme) {
+    case CcScheme::kSi:
+      return "ERMIA-SI";
+    case CcScheme::kSiSsn:
+      return "ERMIA-SSN";
+    case CcScheme::kOcc:
+      return "Silo-OCC";
+    case CcScheme::k2pl:
+      return "ERMIA-2PL";
+  }
+  return "?";
+}
+
+Transaction::Transaction(Database* db, CcScheme scheme, bool read_only)
+    : db_(db), scheme_(scheme), read_only_(read_only) {
+  {
+    ERMIA_PROF_EPOCH();
+    db_->gc_epoch().Enter();
+    in_epoch_ = true;
+  }
+  // OCC read-only transactions run against the read-only snapshot (Silo's
+  // copy-on-write snapshots, modeled as a lagging snapshot LSN); everyone
+  // else snapshots the current log tail.
+  begin_ = (scheme == CcScheme::kOcc && read_only)
+               ? db_->occ_snapshot_offset()
+               : db_->log().CurrentOffset();
+  ctx_ = db_->tids().Begin(begin_, &tid_);
+}
+
+Transaction::~Transaction() {
+  if (!finished_) Abort();
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+Status Transaction::Read(Table* table, Oid oid, Slice* value) {
+  ERMIA_DCHECK(!finished_);
+  if (scheme_ == CcScheme::kOcc && !read_only_) {
+    return OccRead(table, oid, value);
+  }
+  if (scheme_ == CcScheme::k2pl) return TplRead(table, oid, value);
+  return SiRead(table, oid, value);
+}
+
+Status Transaction::Update(Table* table, Oid oid, const Slice& value) {
+  ERMIA_DCHECK(!finished_);
+  if (read_only_) return Status::InvalidArgument("read-only transaction");
+  if (scheme_ == CcScheme::kOcc) return OccUpdate(table, oid, value, false);
+  if (scheme_ == CcScheme::k2pl) return TplUpdate(table, oid, value, false);
+  return SiUpdate(table, oid, value, false);
+}
+
+Status Transaction::Delete(Table* table, Oid oid) {
+  ERMIA_DCHECK(!finished_);
+  if (read_only_) return Status::InvalidArgument("read-only transaction");
+  if (scheme_ == CcScheme::kOcc) return OccUpdate(table, oid, Slice(), true);
+  if (scheme_ == CcScheme::k2pl) return TplUpdate(table, oid, Slice(), true);
+  return SiUpdate(table, oid, Slice(), true);
+}
+
+Status Transaction::Insert(Table* table, Index* primary, const Slice& key,
+                           const Slice& value, Oid* oid) {
+  ERMIA_DCHECK(!finished_);
+  if (read_only_) return Status::InvalidArgument("read-only transaction");
+
+  // Probe first: the key may exist live (KeyExists), deleted (reuse the OID
+  // by overwriting the tombstone), or not at all (fresh insert).
+  Oid existing = 0;
+  NodeHandle handle;
+  bool found;
+  {
+    ERMIA_PROF_INDEX();
+    found = primary->tree().Lookup(key, &existing, &handle);
+  }
+  if (found) {
+    RegisterNode(handle);
+    Slice unused;
+    Status s = Read(table, existing, &unused);
+    if (s.ok()) return Status::KeyExists();
+    if (!s.IsNotFound()) return s;  // conflict/abort from the read path
+    // Invisible or deleted: overwrite through the normal update path, which
+    // enforces first-updater-wins (or locking) against racing writers.
+    Status us;
+    switch (scheme_) {
+      case CcScheme::kOcc:
+        us = OccUpdate(table, existing, value, false);
+        break;
+      case CcScheme::k2pl:
+        us = TplUpdate(table, existing, value, false);
+        break;
+      default:
+        us = SiUpdate(table, existing, value, false);
+        break;
+    }
+    if (!us.ok()) return us;
+    if (oid != nullptr) *oid = existing;
+    return Status::OK();
+  }
+
+  // Fresh insert: allocating the OID and installing the first version is
+  // contention-free (paper §3.2); the index insert arbitrates key races.
+  Oid new_oid;
+  Version* v;
+  {
+    ERMIA_PROF_INDIRECTION();
+    new_oid = table->array().Allocate();
+  }
+  if (scheme_ == CcScheme::k2pl) {
+    // Fresh OID: the exclusive lock always succeeds; taking it keeps strict
+    // 2PL symmetric (released with everything else at commit/abort).
+    ERMIA_RETURN_NOT_OK(TplAcquire(table, new_oid, /*exclusive=*/true));
+  }
+  {
+    ERMIA_PROF_INDIRECTION();
+    v = Version::Alloc(value);
+    v->clsn.store(MakeTidStamp(tid_), std::memory_order_release);
+    table->array().PutHead(new_oid, v);
+  }
+  uint32_t payload_off = 0;
+  Status st = StageRecord(LogRecordType::kInsert, table->fid(), new_oid,
+                          Slice(), value, &payload_off);
+  if (!st.ok()) return st;
+  write_set_.push_back({table, new_oid, v, nullptr, table->array().Slot(new_oid),
+                        /*is_insert=*/true, /*installed=*/true, payload_off});
+  Status is = InsertIndexEntry(primary, key, new_oid);
+  if (!is.ok()) return is;  // racing insert won the key: caller aborts
+  if (oid != nullptr) *oid = new_oid;
+  return Status::OK();
+}
+
+Status Transaction::InsertIndexEntry(Index* index, const Slice& key, Oid oid) {
+  ERMIA_DCHECK(!finished_);
+  NodeHandle handle;
+  Oid existing = 0;
+  Status s;
+  {
+    ERMIA_PROF_INDEX();
+    s = index->tree().Insert(key, oid, &handle, &existing);
+  }
+  if (s.IsKeyExists()) {
+    RegisterNode(handle);
+    return s;
+  }
+  ERMIA_CHECK(s.ok());
+  // If this transaction had already registered the (pre-insert) version of
+  // this leaf, refresh it so our own insert does not fail phantom validation.
+  // Only safe when no foreign change intervened, i.e. the recorded version is
+  // exactly the pre-insert one.
+  if (NeedsNodeSet()) {
+    for (auto& e : node_set_) {
+      if (e.node == handle.node && e.version == handle.version - 2) {
+        e.version = handle.version;
+      }
+    }
+  }
+  uint32_t unused;
+  ERMIA_RETURN_NOT_OK(StageRecord(LogRecordType::kIndexInsert, index->fid(),
+                                  oid, key, Slice(), &unused));
+  index_inserts_.push_back({index, Varstr(key), oid});
+  return Status::OK();
+}
+
+Status Transaction::GetOid(Index* index, const Slice& key, Oid* oid) {
+  ERMIA_DCHECK(!finished_);
+  NodeHandle handle;
+  Oid found_oid = 0;
+  bool found;
+  {
+    ERMIA_PROF_INDEX();
+    found = index->tree().Lookup(key, &found_oid, &handle);
+  }
+  RegisterNode(handle);
+  if (!found) return Status::NotFound();
+  // Visibility check (tracked as a read: the control-flow dependency is a
+  // real anti-dependency for OCC/SSN).
+  Slice unused;
+  Status s = Read(index->table(), found_oid, &unused);
+  if (!s.ok()) return s;
+  *oid = found_oid;
+  return Status::OK();
+}
+
+Status Transaction::Get(Index* index, const Slice& key, Slice* value) {
+  ERMIA_DCHECK(!finished_);
+  NodeHandle handle;
+  Oid oid = 0;
+  bool found;
+  {
+    ERMIA_PROF_INDEX();
+    found = index->tree().Lookup(key, &oid, &handle);
+  }
+  RegisterNode(handle);
+  if (!found) return Status::NotFound();
+  return Read(index->table(), oid, value);
+}
+
+Status Transaction::ScanOids(
+    Index* index, const Slice& lo, const Slice& hi, int64_t limit,
+    const std::function<bool(const Slice&, Oid)>& cb, bool reverse) {
+  ERMIA_DCHECK(!finished_);
+  Table* table = index->table();
+  Status inner = Status::OK();
+  int64_t delivered = 0;
+  auto wrap = [&](const Slice& key, Oid oid) -> bool {
+    Slice value;
+    Status s = Read(table, oid, &value);
+    if (s.IsNotFound()) return true;  // invisible or deleted: skip
+    if (!s.ok()) {
+      inner = s;
+      return false;
+    }
+    ++delivered;
+    if (!cb(key, oid)) return false;
+    return limit < 0 || delivered < limit;
+  };
+  std::vector<NodeHandle>* nodes = NeedsNodeSet() ? &node_set_ : nullptr;
+  {
+    ERMIA_PROF_INDEX();
+    if (reverse) {
+      index->tree().ScanReverse(lo, hi, wrap, nodes);
+    } else {
+      index->tree().Scan(lo, hi, wrap, nodes);
+    }
+  }
+  return inner;
+}
+
+Status Transaction::Scan(
+    Index* index, const Slice& lo, const Slice& hi, int64_t limit,
+    const std::function<bool(const Slice&, const Slice&)>& cb, bool reverse) {
+  ERMIA_DCHECK(!finished_);
+  Table* table = index->table();
+  Status inner = Status::OK();
+  int64_t delivered = 0;
+  auto wrap = [&](const Slice& key, Oid oid) -> bool {
+    Slice value;
+    Status s = Read(table, oid, &value);
+    if (s.IsNotFound()) return true;  // invisible or deleted: skip
+    if (!s.ok()) {
+      inner = s;
+      return false;
+    }
+    ++delivered;
+    if (!cb(key, value)) return false;
+    return limit < 0 || delivered < limit;
+  };
+  std::vector<NodeHandle>* nodes = NeedsNodeSet() ? &node_set_ : nullptr;
+  {
+    ERMIA_PROF_INDEX();
+    if (reverse) {
+      index->tree().ScanReverse(lo, hi, wrap, nodes);
+    } else {
+      index->tree().Scan(lo, hi, wrap, nodes);
+    }
+  }
+  return inner;
+}
+
+// ---------------------------------------------------------------------------
+// Log staging
+// ---------------------------------------------------------------------------
+
+Status Transaction::StageRecord(LogRecordType type, Fid fid, Oid oid,
+                                const Slice& key, const Slice& value,
+                                uint32_t* payload_off) {
+  LogRecordHeader rh{};
+  rh.type = type;
+  rh.fid = fid;
+  rh.oid = oid;
+  rh.key_size = static_cast<uint16_t>(key.size());
+  rh.payload_size = static_cast<uint32_t>(value.size());
+  const size_t base = staging_.size();
+  staging_.resize(base + sizeof rh + key.size() + value.size());
+  std::memcpy(staging_.data() + base, &rh, sizeof rh);
+  std::memcpy(staging_.data() + base + sizeof rh, key.data(), key.size());
+  *payload_off = static_cast<uint32_t>(base + sizeof rh + key.size());
+  std::memcpy(staging_.data() + *payload_off, value.data(), value.size());
+  ++staged_records_;
+  if (ERMIA_UNLIKELY(db_->config().log_per_operation)) {
+    return FlushStagingAsBlock();
+  }
+  return Status::OK();
+}
+
+uint32_t Transaction::BlockSizeForStaging() const {
+  return static_cast<uint32_t>(sizeof(LogBlockHeader) + staging_.size());
+}
+
+// Emulates WAL-style per-operation logging (Fig. 10): every operation makes
+// its own round trip to the centralized log buffer. Benchmark-only mode: it
+// publishes records of transactions that may later abort, so recovery is not
+// supported with it.
+Status Transaction::FlushStagingAsBlock() {
+  ERMIA_PROF_LOG();
+  const uint32_t size = BlockSizeForStaging();
+  Lsn lsn = db_->log().ReserveBlock(size);
+  thread_local std::vector<char> block;
+  block.resize(size);
+  LogBlockHeader hdr{};
+  hdr.magic = kLogBlockMagic;
+  hdr.type = LogBlockType::kTxn;
+  hdr.offset = lsn.offset();
+  hdr.total_size = (size + 31u) & ~31u;
+  hdr.num_records = staged_records_;
+  hdr.payload_bytes = static_cast<uint32_t>(staging_.size());
+  hdr.checksum = LogChecksum(staging_.data(), staging_.size());
+  std::memcpy(block.data(), &hdr, sizeof hdr);
+  std::memcpy(block.data() + sizeof hdr, staging_.data(), staging_.size());
+  db_->log().InstallBlock(lsn, block.data(), size);
+  staging_.clear();
+  staged_records_ = 0;
+  return Status::OK();
+}
+
+Lsn Transaction::ReserveCommitBlock() {
+  ERMIA_PROF_LOG();
+  // Single global fetch_add: commit stamp + log space in one step (§3.3).
+  return db_->log().ReserveBlock(BlockSizeForStaging());
+}
+
+void Transaction::InstallCommitBlock(Lsn lsn) {
+  ERMIA_PROF_LOG();
+  const uint32_t size = BlockSizeForStaging();
+  // Reused per worker: commit-path serialization should not allocate.
+  thread_local std::vector<char> block;
+  block.resize(size);
+  LogBlockHeader hdr{};
+  hdr.magic = kLogBlockMagic;
+  hdr.type = LogBlockType::kTxn;
+  hdr.offset = lsn.offset();
+  hdr.total_size = (size + 31u) & ~31u;
+  hdr.num_records = staged_records_;
+  hdr.payload_bytes = static_cast<uint32_t>(staging_.size());
+  hdr.checksum = LogChecksum(staging_.data(), staging_.size());
+  std::memcpy(block.data(), &hdr, sizeof hdr);
+  std::memcpy(block.data() + sizeof hdr, staging_.data(), staging_.size());
+  // Durable addresses: each new version's payload lives right after its
+  // record header inside this block.
+  if (!db_->config().log_per_operation) {
+    for (auto& w : write_set_) {
+      w.version->log_ptr =
+          lsn.offset() + sizeof(LogBlockHeader) + w.staging_payload_off;
+    }
+  }
+  db_->log().InstallBlock(lsn, block.data(), size);
+}
+
+void Transaction::PostCommit(Lsn clsn) {
+  // Replace TID stamps with the commit LSN so readers stop chasing this
+  // transaction's context (§3.1 post-commit), then hand updated records to
+  // the garbage collector.
+  const uint64_t cval = clsn.value();
+  for (auto& w : write_set_) {
+    if (scheme_ == CcScheme::kSiSsn) {
+      w.version->pstamp.store(cval, std::memory_order_relaxed);
+    }
+    w.version->clsn.store(cval, std::memory_order_release);
+  }
+  if (db_->config().enable_gc) {
+    for (auto& w : write_set_) {
+      if (w.prev != nullptr) db_->gc().NotifyUpdate(w.table, w.oid);
+    }
+  }
+}
+
+void Transaction::Finish(bool committed) {
+  ERMIA_DCHECK(!finished_);
+  (void)committed;
+  for (Version* v : scratch_versions_) Version::Free(v);
+  scratch_versions_.clear();
+  db_->tids().Release(ctx_);
+  if (in_epoch_) {
+    ERMIA_PROF_EPOCH();
+    db_->gc_epoch().Exit();
+    in_epoch_ = false;
+  }
+  prof::t_counters.transactions++;
+  finished_ = true;
+}
+
+void Transaction::RegisterNode(const NodeHandle& handle) {
+  if (!NeedsNodeSet()) return;
+  node_set_.push_back(handle);
+}
+
+Version* Transaction::MaterializeStub(Table* table, Oid oid, Version* stub) {
+  ERMIA_DCHECK(stub->stub);
+  std::string payload(stub->size, '\0');
+  Status s = db_->log().ReadDurable(stub->log_ptr, payload.data(),
+                                    stub->size);
+  ERMIA_CHECK(s.ok());  // the stub's address came from the durable log
+  Version* full = Version::Alloc(payload);
+  full->clsn.store(stub->clsn.load(std::memory_order_acquire),
+                   std::memory_order_relaxed);
+  full->log_ptr = stub->log_ptr;
+  full->next.store(stub->next.load(std::memory_order_acquire),
+                   std::memory_order_relaxed);
+  // Fast path: the stub is still the chain head — swap it so every later
+  // reader gets the materialized version for free.
+  if (table->array().CasHead(oid, stub, full)) {
+    Version* dead = stub;
+    db_->gc_epoch().Defer([dead] { Version::Free(dead); });
+    return full;
+  }
+  // Someone installed above the stub (or materialized it concurrently):
+  // keep the copy private to this transaction.
+  full->next.store(nullptr, std::memory_order_relaxed);
+  scratch_versions_.push_back(full);
+  return full;
+}
+
+Transaction::WriteSetEntry* Transaction::FindOwnWrite(Table* table, Oid oid) {
+  for (auto it = write_set_.rbegin(); it != write_set_.rend(); ++it) {
+    if (it->table == table && it->oid == oid) return &*it;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Commit / abort
+// ---------------------------------------------------------------------------
+
+Status Transaction::Commit() {
+  ERMIA_DCHECK(!finished_);
+  const bool has_writes = !write_set_.empty() || staged_records_ > 0;
+  if (!has_writes) {
+    // Reader-only commit. Under SSN the reads still participate (committed
+    // readers must publish their pstamps so writers see them); SI and OCC
+    // snapshot readers commit trivially.
+    if (scheme_ == CcScheme::kSiSsn && !read_set_.empty()) {
+      return SsnCommit();
+    }
+    if (scheme_ == CcScheme::k2pl) TplReleaseAll();
+    ctx_->StoreState(TxnState::kCommitted);
+    Finish(true);
+    return Status::OK();
+  }
+  switch (scheme_) {
+    case CcScheme::kSi:
+      return SiCommit();
+    case CcScheme::kSiSsn:
+      return SsnCommit();
+    case CcScheme::kOcc:
+      return OccCommit();
+    case CcScheme::k2pl:
+      return TplCommit();
+  }
+  return Status::InvalidArgument("unknown scheme");
+}
+
+void Transaction::Abort() {
+  if (finished_) return;
+  // Unlink installed versions, newest first: our uncommitted head cannot be
+  // displaced by anyone else (their CAS expects a committed head), so the
+  // unlink CAS must succeed.
+  for (auto it = write_set_.rbegin(); it != write_set_.rend(); ++it) {
+    auto& w = *it;
+    if (w.slot->load(std::memory_order_acquire) != w.version) {
+      // OCC intent that was never installed.
+      Version::Free(w.version);
+      continue;
+    }
+    Version* next = w.version->next.load(std::memory_order_relaxed);
+    bool ok = w.table->array().CasHead(w.oid, w.version, next);
+    ERMIA_CHECK(ok);
+    Version* dead = w.version;
+    db_->gc_epoch().Defer([dead] { Version::Free(dead); });
+  }
+  // Remove index entries added by this transaction (bumps leaf versions, so
+  // concurrent validators relying on those leaves will abort — conservative
+  // but safe), then release freshly allocated OIDs.
+  for (auto it = index_inserts_.rbegin(); it != index_inserts_.rend(); ++it) {
+    ERMIA_PROF_INDEX();
+    it->index->tree().Remove(it->key.slice());
+  }
+  for (auto& w : write_set_) {
+    if (w.is_insert) w.table->array().Free(w.oid);
+  }
+  if (scheme_ == CcScheme::k2pl) TplReleaseAll();
+  ctx_->StoreState(TxnState::kAborted);
+  Finish(false);
+}
+
+}  // namespace ermia

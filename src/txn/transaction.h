@@ -1,0 +1,223 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// Transactions (paper §3.1, Fig. 3). A Transaction joins the epoch-based
+// resource managers, claims a TID-table context and a begin timestamp, stages
+// its log records privately during forward processing, and commits with a
+// single fetch_add on the global log offset followed by the CC scheme's
+// pre-commit protocol and an asynchronous post-commit that replaces TID
+// stamps with the commit LSN.
+//
+// Three CC schemes share this object (§3.6 and the evaluation's baseline):
+//   kSi    — snapshot isolation, first-updater-wins.
+//   kSiSsn — SI + the Serial Safety Net certifier (serializable).
+//   kOcc   — Silo-style lightweight OCC: writes are buffered as intents,
+//            installed at commit (the CAS acts as the write lock), and the
+//            read set is validated after the commit stamp is taken. Read-only
+//            transactions run against a periodically refreshed snapshot.
+#ifndef ERMIA_TXN_TRANSACTION_H_
+#define ERMIA_TXN_TRANSACTION_H_
+
+#include <functional>
+#include <unordered_map>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "index/btree.h"
+#include "log/lsn.h"
+#include "storage/table.h"
+#include "txn/tid_manager.h"
+
+namespace ermia {
+
+class Database;
+
+enum class CcScheme {
+  kSi = 0,
+  kSiSsn = 1,
+  kOcc = 2,
+  // Extension (not in the paper's evaluation): classic two-phase locking on
+  // the same physical layer — the pessimistic baseline §2 discusses via
+  // Agrawal/Carey/Livny. Bounded-wait no-wait deadlock handling.
+  k2pl = 3,
+};
+
+const char* CcSchemeName(CcScheme scheme);
+
+class Transaction {
+ public:
+  // Starts a transaction immediately. `read_only` is a declaration: such
+  // transactions may not write; under OCC they read from the read-only
+  // snapshot (Silo's snapshot mechanism) and never abort.
+  Transaction(Database* db, CcScheme scheme, bool read_only = false);
+  ~Transaction();
+  ERMIA_NO_COPY(Transaction);
+
+  // ---- data operations -----------------------------------------------------
+
+  // Reads the record's visible version; *value aliases version memory that
+  // stays valid until the transaction finishes (epoch-pinned).
+  Status Read(Table* table, Oid oid, Slice* value);
+
+  // Installs a new version (SI/SSN) or buffers a write intent (OCC).
+  Status Update(Table* table, Oid oid, const Slice& value);
+
+  // Creates a record and its primary index entry. If the key maps to a
+  // visibly deleted record, the OID is reused (tombstone overwrite).
+  Status Insert(Table* table, Index* primary, const Slice& key,
+                const Slice& value, Oid* oid);
+
+  // Marks the record deleted (tombstone version; index entries remain and
+  // readers observe NotFound).
+  Status Delete(Table* table, Oid oid);
+
+  // Adds a secondary index entry for an OID this transaction inserted.
+  Status InsertIndexEntry(Index* index, const Slice& key, Oid oid);
+
+  // ---- index operations ----------------------------------------------------
+
+  // Key lookup; registers the consulted leaf in the node set (phantom
+  // protection) under OCC/SSN. NotFound covers both absent keys and records
+  // invisible to this snapshot.
+  Status GetOid(Index* index, const Slice& key, Oid* oid);
+
+  // Lookup + Read convenience.
+  Status Get(Index* index, const Slice& key, Slice* value);
+
+  // Ordered scan over [lo, hi] (inclusive; empty hi = open-ended) delivering
+  // only versions visible to this transaction. The callback returns false to
+  // stop. `limit` < 0 means unlimited. Set `reverse` for descending order.
+  Status Scan(Index* index, const Slice& lo, const Slice& hi, int64_t limit,
+              const std::function<bool(const Slice& key, const Slice& value)>& cb,
+              bool reverse = false);
+
+  // Like Scan but delivers OIDs of visible records (callers needing to
+  // update records they scan).
+  Status ScanOids(Index* index, const Slice& lo, const Slice& hi, int64_t limit,
+                  const std::function<bool(const Slice& key, Oid oid)>& cb,
+                  bool reverse = false);
+
+  // ---- lifecycle -----------------------------------------------------------
+
+  // Runs the CC scheme's pre-commit, publishes the log block, post-commits.
+  // On a non-OK return the transaction has already been aborted.
+  Status Commit();
+
+  // Rolls back: unlinks installed versions, removes inserted index entries,
+  // converts any log reservation into a skip block.
+  void Abort();
+
+  uint64_t tid() const { return tid_; }
+  uint64_t begin_offset() const { return begin_; }
+  bool read_only() const { return read_only_; }
+  CcScheme scheme() const { return scheme_; }
+  bool finished() const { return finished_; }
+
+ private:
+  struct ReadSetEntry {
+    Version* version;                // the version this transaction read
+    std::atomic<Version*>* slot;     // its indirection slot (OCC validation)
+  };
+
+  struct WriteSetEntry {
+    Table* table;
+    Oid oid;
+    Version* version;  // new version: installed (SI/SSN) or intent (OCC)
+    Version* prev;     // head observed/overwritten; nullptr for inserts
+    std::atomic<Version*>* slot;
+    bool is_insert;
+    bool installed;  // version is at the chain head (OCC installs at commit)
+    uint32_t staging_payload_off;  // payload position inside staging_
+  };
+
+  struct IndexInsertEntry {
+    Index* index;
+    Varstr key;
+    Oid oid;
+  };
+
+  // ---- shared helpers (transaction.cpp) ----
+  Status StageRecord(LogRecordType type, Fid fid, Oid oid, const Slice& key,
+                     const Slice& value, uint32_t* payload_off);
+  Status FlushStagingAsBlock();  // per-operation logging mode (Fig. 10)
+  uint32_t BlockSizeForStaging() const;
+  // Single fetch_add: claims the commit stamp and the log space (§3.3).
+  Lsn ReserveCommitBlock();
+  // Serializes staged records into the reserved space and fixes durable
+  // addresses (log_ptr) on the new versions.
+  void InstallCommitBlock(Lsn lsn);
+  void PostCommit(Lsn clsn);
+  void Finish(bool committed);
+  void RegisterNode(const NodeHandle& handle);
+  bool NeedsNodeSet() const {
+    return scheme_ != CcScheme::kSi && !read_only_;
+  }
+  Status NodeSetValidate() const;  // cc/node_set.cpp
+  WriteSetEntry* FindOwnWrite(Table* table, Oid oid);
+
+  // Lazy recovery (anti-caching, §3.7): faults a stub version's payload in
+  // from the durable log. Swaps the chain head in place when possible,
+  // otherwise returns a transaction-private materialization.
+  Version* MaterializeStub(Table* table, Oid oid, Version* stub);
+
+  // ---- SI (cc/si.cpp) ----
+  // Returns the version of `oid` visible at `begin_`, waiting out committing
+  // owners with earlier commit stamps. nullptr if none.
+  Version* SiVisibleVersion(Table* table, Oid oid);
+  Status SiRead(Table* table, Oid oid, Slice* value);
+  Status SiUpdate(Table* table, Oid oid, const Slice& value, bool tombstone);
+  Status SiCommit();
+
+  // ---- SSN (cc/ssn.cpp) ----
+  void SsnOnRead(Version* version);
+  Status SsnOnUpdate(Version* prev);
+  Status SsnPreCommitValidate(uint64_t cstamp_value);  // exclusion test+stamps
+  Status SsnCommit();
+  bool SsnExclusionViolated() const;
+
+  // ---- 2PL (cc/tpl.cpp) ----
+  Status TplAcquire(Table* table, Oid oid, bool exclusive);
+  Status TplRead(Table* table, Oid oid, Slice* value);
+  Status TplUpdate(Table* table, Oid oid, const Slice& value, bool tombstone);
+  Status TplCommit();
+  void TplReleaseAll();
+
+  // ---- OCC (cc/occ.cpp) ----
+  Version* OccLatestCommitted(Version* head);
+  Status OccRead(Table* table, Oid oid, Slice* value);
+  Status OccUpdate(Table* table, Oid oid, const Slice& value, bool tombstone);
+  Status OccCommit();
+
+  Database* db_;
+  CcScheme scheme_;
+  bool read_only_;
+  bool finished_ = false;
+  bool in_epoch_ = false;
+
+  TxnContext* ctx_ = nullptr;
+  uint64_t tid_ = 0;
+  uint64_t begin_ = 0;  // begin timestamp (log offset)
+
+  std::vector<ReadSetEntry> read_set_;
+  std::vector<WriteSetEntry> write_set_;
+  std::vector<NodeHandle> node_set_;
+  std::vector<IndexInsertEntry> index_inserts_;
+
+  // 2PL: locks held, keyed by (fid << 32 | oid); value = exclusive?
+  std::unordered_map<uint64_t, bool> held_locks_;
+
+  // Transaction-private materializations of lazy-recovery stubs that could
+  // not be swapped into the chain; freed when the transaction finishes.
+  std::vector<Version*> scratch_versions_;
+
+  // Private log staging buffer: record headers + keys + payloads,
+  // concatenated in operation order (paper: "accumulate descriptors in the
+  // private log buffer to avoid log buffer contention").
+  std::vector<char> staging_;
+  uint32_t staged_records_ = 0;
+};
+
+}  // namespace ermia
+
+#endif  // ERMIA_TXN_TRANSACTION_H_

@@ -1,0 +1,57 @@
+#include "workloads/micro/micro_workload.h"
+
+namespace ermia {
+namespace micro {
+
+using tpcc::LoadRow;
+using tpcc::RowSlice;
+using tpcc::StockKey;
+using tpcc::StockRow;
+
+Status MicroWorkload::Load(Database* db) {
+  stock_ = db->CreateTable("stock");
+  stock_pk_ = db->CreateIndex(stock_, "stock_pk");
+  FastRandom rng(0xBEEF);
+  const uint32_t batch = 512;
+  std::unique_ptr<Transaction> txn;
+  for (uint32_t i = 1; i <= cfg_.table_rows; ++i) {
+    if (!txn) txn = std::make_unique<Transaction>(db, CcScheme::kSi);
+    StockRow row{};
+    row.s_quantity = static_cast<int32_t>(rng.UniformU64(10, 100));
+    ERMIA_RETURN_NOT_OK(txn->Insert(stock_, stock_pk_, StockKey(1, i).slice(),
+                                    RowSlice(row), nullptr));
+    if (i % batch == 0) {
+      ERMIA_RETURN_NOT_OK(txn->Commit());
+      txn.reset();
+    }
+  }
+  if (txn) return txn->Commit();
+  return Status::OK();
+}
+
+Status MicroWorkload::RunTxn(Database* db, CcScheme scheme, size_t /*type*/,
+                             uint32_t /*worker_id*/, uint32_t /*num_workers*/,
+                             FastRandom& rng) {
+  Transaction txn(db, scheme);
+  for (uint32_t r = 0; r < cfg_.reads_per_txn; ++r) {
+    const uint32_t i =
+        static_cast<uint32_t>(rng.UniformU64(1, cfg_.table_rows));
+    Oid oid = 0;
+    Status s = txn.GetOid(stock_pk_, StockKey(1, i).slice(), &oid);
+    if (s.IsNotFound()) continue;
+    ERMIA_RETURN_NOT_OK(s);
+    Slice raw;
+    ERMIA_RETURN_NOT_OK(txn.Read(stock_, oid, &raw));
+    if (rng.Bernoulli(cfg_.write_ratio)) {
+      StockRow row;
+      if (!LoadRow(raw, &row)) return Status::Corruption("stock row");
+      row.s_quantity = (row.s_quantity + 1) % 100;
+      row.s_ytd++;
+      ERMIA_RETURN_NOT_OK(txn.Update(stock_, oid, RowSlice(row)));
+    }
+  }
+  return txn.Commit();
+}
+
+}  // namespace micro
+}  // namespace ermia

@@ -1,0 +1,46 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// Microbenchmark (paper §1 Fig. 1, §4.2): one transaction type that reads a
+// random subset of the TPC-C Stock table and updates a smaller fraction of
+// what it read, creating tunable read-write conflicts. Knobs: reads per
+// transaction (1K / 10K in the paper) and the write/read ratio (x-axis).
+#ifndef ERMIA_WORKLOADS_MICRO_MICRO_WORKLOAD_H_
+#define ERMIA_WORKLOADS_MICRO_MICRO_WORKLOAD_H_
+
+#include "bench/driver.h"
+#include "workloads/tpcc/tpcc_schema.h"
+
+namespace ermia {
+namespace micro {
+
+struct MicroConfig {
+  uint32_t table_rows = 100000;  // stock rows
+  uint32_t reads_per_txn = 1000;
+  double write_ratio = 0.01;  // fraction of reads that become updates
+};
+
+class MicroWorkload : public bench::Workload {
+ public:
+  explicit MicroWorkload(MicroConfig cfg) : cfg_(cfg) {}
+
+  Status Load(Database* db) override;
+  size_t NumTxnTypes() const override { return 1; }
+  const char* TxnTypeName(size_t) const override { return "ReadUpdate"; }
+  size_t PickTxnType(FastRandom&) const override { return 0; }
+  Status RunTxn(Database* db, CcScheme scheme, size_t type, uint32_t worker_id,
+                uint32_t num_workers, FastRandom& rng) override;
+
+  void set_write_ratio(double r) { cfg_.write_ratio = r; }
+  void set_reads_per_txn(uint32_t n) { cfg_.reads_per_txn = n; }
+  const MicroConfig& config() const { return cfg_; }
+
+ private:
+  MicroConfig cfg_;
+  Table* stock_ = nullptr;
+  Index* stock_pk_ = nullptr;
+};
+
+}  // namespace micro
+}  // namespace ermia
+
+#endif  // ERMIA_WORKLOADS_MICRO_MICRO_WORKLOAD_H_

@@ -1,0 +1,121 @@
+// TPC-CH-Q2* (paper §4.2): a read-mostly transaction derived from TPC-CH
+// Query 2. It picks a random region and scans a fraction of the stock/item
+// range across all warehouses; stock rows belong to supplier
+// (s_w_id * s_i_id) mod |Supplier| (TPC-CH convention), and rows of in-region
+// suppliers whose quantity fell below a threshold get restocked (the
+// transaction's small write footprint). The `fraction` parameter controls the
+// transaction's read-set size — the x-axis of Figs. 5 and 12.
+#include <unordered_map>
+
+#include "workloads/tpcc/tpcc_workload.h"
+
+namespace ermia {
+namespace tpcc {
+
+Status TxnQ2Star(TpccCtx& ctx, double fraction) {
+  const TpccTables& t = *ctx.t;
+  const uint32_t region =
+      static_cast<uint32_t>(ctx.rng->UniformU64(0, ctx.cfg->regions() - 1));
+  const uint32_t max_item = std::max<uint32_t>(
+      1, static_cast<uint32_t>(fraction * ctx.cfg->items()));
+  const int32_t threshold = static_cast<int32_t>(ctx.rng->UniformU64(10, 20));
+  const uint32_t nsup = ctx.cfg->suppliers();
+
+  Transaction txn(ctx.db, ctx.scheme);
+
+  // supplier -> belongs to the chosen region? (memoized per transaction; the
+  // first probe of each supplier/nation is a tracked read).
+  std::unordered_map<uint32_t, bool> in_region;
+  auto supplier_in_region = [&](uint32_t su, bool* result) -> Status {
+    auto it = in_region.find(su);
+    if (it != in_region.end()) {
+      *result = it->second;
+      return Status::OK();
+    }
+    Slice raw;
+    Status s = txn.Get(t.supplier_pk, SupplierKey(su).slice(), &raw);
+    if (s.IsNotFound()) {
+      in_region.emplace(su, false);
+      *result = false;
+      return Status::OK();
+    }
+    ERMIA_RETURN_NOT_OK(s);
+    SupplierRow sr;
+    if (!LoadRow(raw, &sr)) return Status::Corruption("supplier row");
+    Slice nraw;
+    ERMIA_RETURN_NOT_OK(txn.Get(
+        t.nation_pk, NationKey(static_cast<uint32_t>(sr.su_nationkey)).slice(),
+        &nraw));
+    NationRow nr;
+    if (!LoadRow(nraw, &nr)) return Status::Corruption("nation row");
+    const bool match = static_cast<uint32_t>(nr.n_regionkey) == region;
+    in_region.emplace(su, match);
+    *result = match;
+    return Status::OK();
+  };
+
+  uint64_t scanned = 0, restocked = 0;
+  for (uint32_t w = 1; w <= ctx.cfg->warehouses; ++w) {
+    struct Hit {
+      Oid oid;
+      uint32_t i_id;
+    };
+    std::vector<Hit> low_stock;
+    Status inner = Status::OK();
+    Status scan_status = txn.ScanOids(
+        t.stock_pk, StockKey(w, 1).slice(), StockKey(w, max_item).slice(), -1,
+        [&](const Slice& key, Oid oid) {
+          ++scanned;
+          KeyDecoder dec(key);
+          dec.U32();
+          const uint32_t i_id = dec.U32();
+          const uint32_t su = (w * i_id) % nsup;
+          bool match = false;
+          inner = supplier_in_region(su, &match);
+          if (!inner.ok()) return false;
+          if (!match) return true;
+          Slice raw;
+          inner = txn.Read(t.stock, oid, &raw);
+          if (!inner.ok()) {
+            if (inner.IsNotFound()) {
+              inner = Status::OK();
+              return true;
+            }
+            return false;
+          }
+          StockRow sr;
+          if (!LoadRow(raw, &sr)) {
+            inner = Status::Corruption("stock row");
+            return false;
+          }
+          if (sr.s_quantity < threshold) low_stock.push_back({oid, i_id});
+          return true;
+        });
+    ERMIA_RETURN_NOT_OK(scan_status);
+    ERMIA_RETURN_NOT_OK(inner);
+
+    // Restock the low items (the Q2* "update" per the paper).
+    for (const Hit& hit : low_stock) {
+      Slice raw;
+      Status rs = txn.Read(t.stock, hit.oid, &raw);
+      if (rs.IsNotFound()) continue;
+      ERMIA_RETURN_NOT_OK(rs);
+      StockRow sr;
+      if (!LoadRow(raw, &sr)) return Status::Corruption("stock row");
+      // Also consult the item row, as Q2 reports item details.
+      ItemRow ir;
+      Slice iraw;
+      Status is = txn.Get(t.item_pk, ItemKey(hit.i_id).slice(), &iraw);
+      if (is.ok()) LoadRow(iraw, &ir);
+      sr.s_quantity += 50;
+      ERMIA_RETURN_NOT_OK(txn.Update(t.stock, hit.oid, RowSlice(sr)));
+      ++restocked;
+    }
+  }
+  (void)scanned;
+  (void)restocked;
+  return txn.Commit();
+}
+
+}  // namespace tpcc
+}  // namespace ermia

@@ -1,0 +1,268 @@
+// TPC-C initial population (TPC-C v5.11 §4.3), scaled by TpccConfig::density.
+// Loading runs through regular SI transactions, committing in batches to keep
+// individual log blocks small.
+#include "workloads/tpcc/tpcc_workload.h"
+
+namespace ermia {
+namespace tpcc {
+
+namespace {
+
+constexpr uint32_t kBatch = 512;
+
+// Commits the transaction every kBatch operations; loading is single-purpose
+// enough that a thin helper beats a general bulk-load path.
+class BatchLoader {
+ public:
+  explicit BatchLoader(Database* db) : db_(db) { Fresh(); }
+  ~BatchLoader() {
+    if (txn_ != nullptr) {
+      final_ = txn_->Commit();
+      txn_.reset();
+    }
+  }
+
+  Transaction* txn() { return txn_.get(); }
+
+  Status Tick() {
+    if (++ops_ % kBatch == 0) {
+      ERMIA_RETURN_NOT_OK(txn_->Commit());
+      Fresh();
+    }
+    return Status::OK();
+  }
+
+  Status Finish() {
+    Status s = txn_->Commit();
+    txn_.reset();
+    return s;
+  }
+
+  Status final_status() const { return final_; }
+
+ private:
+  void Fresh() { txn_ = std::make_unique<Transaction>(db_, CcScheme::kSi); }
+
+  Database* db_;
+  std::unique_ptr<Transaction> txn_;
+  uint64_t ops_ = 0;
+  Status final_;
+};
+
+void FillString(char* dst, size_t cap, const std::string& s) {
+  const size_t n = std::min(cap - 1, s.size());
+  std::memcpy(dst, s.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+Status LoadTpcc(Database* db, const TpccTables& t, const TpccConfig& cfg) {
+  FastRandom rng(0xC0FFEE);
+  const uint32_t W = cfg.warehouses;
+  const uint32_t D = cfg.districts();
+  const uint32_t C = cfg.customers_per_district();
+  const uint32_t I = cfg.items();
+
+  BatchLoader loader(db);
+
+  // Items.
+  for (uint32_t i = 1; i <= I; ++i) {
+    ItemRow row{};
+    row.i_price = 1.0 + rng.NextDouble() * 99.0;
+    row.i_im_id = static_cast<int32_t>(rng.UniformU64(1, 10000));
+    FillString(row.i_name, sizeof row.i_name, rng.AlphaString(14, 24));
+    // 10% of items carry "ORIGINAL" (spec 4.3.3.1).
+    std::string data = rng.AlphaString(26, 50);
+    if (rng.Bernoulli(0.1)) data.replace(data.size() / 2, 8, "ORIGINAL");
+    FillString(row.i_data, sizeof row.i_data, data);
+    ERMIA_RETURN_NOT_OK(loader.txn()->Insert(t.item, t.item_pk,
+                                             ItemKey(i).slice(),
+                                             RowSlice(row), nullptr));
+    ERMIA_RETURN_NOT_OK(loader.Tick());
+  }
+
+  for (uint32_t w = 1; w <= W; ++w) {
+    WarehouseRow wr{};
+    wr.w_tax = rng.NextDouble() * 0.2;
+    wr.w_ytd = 300000.0;
+    FillString(wr.w_name, sizeof wr.w_name, rng.AlphaString(6, 10));
+    FillString(wr.w_street_1, sizeof wr.w_street_1, rng.AlphaString(10, 20));
+    FillString(wr.w_street_2, sizeof wr.w_street_2, rng.AlphaString(10, 20));
+    FillString(wr.w_city, sizeof wr.w_city, rng.AlphaString(10, 20));
+    FillString(wr.w_state, sizeof wr.w_state, rng.AlphaString(2, 2));
+    FillString(wr.w_zip, sizeof wr.w_zip, rng.NumString(9, 9));
+    ERMIA_RETURN_NOT_OK(loader.txn()->Insert(t.warehouse, t.warehouse_pk,
+                                             WarehouseKey(w).slice(),
+                                             RowSlice(wr), nullptr));
+    ERMIA_RETURN_NOT_OK(loader.Tick());
+
+    // Stock for this warehouse.
+    for (uint32_t i = 1; i <= I; ++i) {
+      StockRow sr{};
+      sr.s_quantity = static_cast<int32_t>(rng.UniformU64(10, 100));
+      sr.s_ytd = 0;
+      sr.s_order_cnt = 0;
+      sr.s_remote_cnt = 0;
+      for (auto& dist : sr.s_dist) {
+        FillString(dist, sizeof dist, rng.AlphaString(24, 24));
+      }
+      FillString(sr.s_data, sizeof sr.s_data, rng.AlphaString(26, 50));
+      ERMIA_RETURN_NOT_OK(loader.txn()->Insert(t.stock, t.stock_pk,
+                                               StockKey(w, i).slice(),
+                                               RowSlice(sr), nullptr));
+      ERMIA_RETURN_NOT_OK(loader.Tick());
+    }
+
+    for (uint32_t d = 1; d <= D; ++d) {
+      DistrictRow dr{};
+      dr.d_tax = rng.NextDouble() * 0.2;
+      dr.d_ytd = 30000.0;
+      dr.d_next_o_id = static_cast<int32_t>(cfg.initial_orders_per_district()) + 1;
+      FillString(dr.d_name, sizeof dr.d_name, rng.AlphaString(6, 10));
+      FillString(dr.d_street_1, sizeof dr.d_street_1, rng.AlphaString(10, 20));
+      FillString(dr.d_street_2, sizeof dr.d_street_2, rng.AlphaString(10, 20));
+      FillString(dr.d_city, sizeof dr.d_city, rng.AlphaString(10, 20));
+      FillString(dr.d_state, sizeof dr.d_state, rng.AlphaString(2, 2));
+      FillString(dr.d_zip, sizeof dr.d_zip, rng.NumString(9, 9));
+      ERMIA_RETURN_NOT_OK(loader.txn()->Insert(t.district, t.district_pk,
+                                               DistrictKey(w, d).slice(),
+                                               RowSlice(dr), nullptr));
+      ERMIA_RETURN_NOT_OK(loader.Tick());
+
+      // Customers (+ name index, + one history row each).
+      for (uint32_t c = 1; c <= C; ++c) {
+        CustomerRow cr{};
+        cr.c_credit_lim = 50000.0;
+        cr.c_discount = rng.NextDouble() * 0.5;
+        cr.c_balance = -10.0;
+        cr.c_ytd_payment = 10.0;
+        cr.c_payment_cnt = 1;
+        cr.c_delivery_cnt = 0;
+        const std::string last =
+            LastName(c <= 1000 ? c - 1
+                               : static_cast<uint32_t>(rng.NURand(255, 0, 999)));
+        FillString(cr.c_last, sizeof cr.c_last, last);
+        const std::string first = rng.AlphaString(8, 16);
+        FillString(cr.c_first, sizeof cr.c_first, first);
+        FillString(cr.c_middle, sizeof cr.c_middle, "OE");
+        FillString(cr.c_street_1, sizeof cr.c_street_1, rng.AlphaString(10, 20));
+        FillString(cr.c_street_2, sizeof cr.c_street_2, rng.AlphaString(10, 20));
+        FillString(cr.c_city, sizeof cr.c_city, rng.AlphaString(10, 20));
+        FillString(cr.c_state, sizeof cr.c_state, rng.AlphaString(2, 2));
+        FillString(cr.c_zip, sizeof cr.c_zip, rng.NumString(9, 9));
+        FillString(cr.c_phone, sizeof cr.c_phone, rng.NumString(16, 16));
+        FillString(cr.c_credit, sizeof cr.c_credit,
+                   rng.Bernoulli(0.1) ? "BC" : "GC");
+        cr.c_since = 0;
+        FillString(cr.c_data, sizeof cr.c_data, rng.AlphaString(200, 300));
+        Oid c_oid = 0;
+        ERMIA_RETURN_NOT_OK(loader.txn()->Insert(t.customer, t.customer_pk,
+                                                 CustomerKey(w, d, c).slice(),
+                                                 RowSlice(cr), &c_oid));
+        ERMIA_RETURN_NOT_OK(loader.txn()->InsertIndexEntry(
+            t.customer_name, CustomerNameKey(w, d, last, first, c).slice(),
+            c_oid));
+
+        HistoryRow hr{};
+        hr.h_amount = 10.0;
+        hr.h_c_id = static_cast<int32_t>(c);
+        hr.h_c_d_id = static_cast<int32_t>(d);
+        hr.h_c_w_id = static_cast<int32_t>(w);
+        hr.h_d_id = static_cast<int32_t>(d);
+        hr.h_w_id = static_cast<int32_t>(w);
+        FillString(hr.h_data, sizeof hr.h_data, rng.AlphaString(12, 24));
+        const uint64_t seq =
+            (static_cast<uint64_t>(w) << 40) | (static_cast<uint64_t>(d) << 28) | c;
+        ERMIA_RETURN_NOT_OK(loader.txn()->Insert(t.history, t.history_pk,
+                                                 HistoryKey(0, seq).slice(),
+                                                 RowSlice(hr), nullptr));
+        ERMIA_RETURN_NOT_OK(loader.Tick());
+      }
+
+      // Initial orders: a random permutation of customers, the most recent
+      // ~30% still undelivered (in new_order).
+      std::vector<uint32_t> perm(C);
+      for (uint32_t i = 0; i < C; ++i) perm[i] = i + 1;
+      for (uint32_t i = C; i > 1; --i) {
+        std::swap(perm[i - 1], perm[rng.UniformU64(0, i - 1)]);
+      }
+      const uint32_t orders = cfg.initial_orders_per_district();
+      const uint32_t first_new = orders - orders * 3 / 10 + 1;
+      for (uint32_t o = 1; o <= orders; ++o) {
+        OrderRow orow{};
+        orow.o_c_id = static_cast<int32_t>(perm[o - 1]);
+        orow.o_carrier_id =
+            o < first_new ? static_cast<int32_t>(rng.UniformU64(1, 10)) : 0;
+        orow.o_ol_cnt = static_cast<int32_t>(rng.UniformU64(5, 15));
+        orow.o_all_local = 1;
+        orow.o_entry_d = o;
+        Oid o_oid = 0;
+        ERMIA_RETURN_NOT_OK(loader.txn()->Insert(t.order, t.order_pk,
+                                                 OrderKey(w, d, o).slice(),
+                                                 RowSlice(orow), &o_oid));
+        ERMIA_RETURN_NOT_OK(loader.txn()->InsertIndexEntry(
+            t.order_cust,
+            OrderCustKey(w, d, static_cast<uint32_t>(orow.o_c_id), o).slice(),
+            o_oid));
+        for (int32_t ol = 1; ol <= orow.o_ol_cnt; ++ol) {
+          OrderLineRow lr{};
+          lr.ol_i_id = static_cast<int32_t>(rng.UniformU64(1, I));
+          lr.ol_supply_w_id = static_cast<int32_t>(w);
+          lr.ol_quantity = 5;
+          lr.ol_amount = o < first_new ? 0.0 : rng.NextDouble() * 9999.0;
+          lr.ol_delivery_d = o < first_new ? o : 0;
+          FillString(lr.ol_dist_info, sizeof lr.ol_dist_info,
+                     rng.AlphaString(24, 24));
+          ERMIA_RETURN_NOT_OK(loader.txn()->Insert(
+              t.orderline, t.orderline_pk,
+              OrderLineKey(w, d, o, static_cast<uint32_t>(ol)).slice(),
+              RowSlice(lr), nullptr));
+        }
+        if (o >= first_new) {
+          NewOrderRow nr{};
+          nr.no_o_id = static_cast<int32_t>(o);
+          ERMIA_RETURN_NOT_OK(loader.txn()->Insert(t.neworder, t.neworder_pk,
+                                                   NewOrderKey(w, d, o).slice(),
+                                                   RowSlice(nr), nullptr));
+        }
+        ERMIA_RETURN_NOT_OK(loader.Tick());
+      }
+    }
+  }
+
+  // TPC-CH tables for the hybrid workload.
+  if (cfg.hybrid && t.supplier != nullptr) {
+    for (uint32_t r = 0; r < cfg.regions(); ++r) {
+      RegionRow rr{};
+      FillString(rr.r_name, sizeof rr.r_name, rng.AlphaString(6, 24));
+      ERMIA_RETURN_NOT_OK(loader.txn()->Insert(t.region, t.region_pk,
+                                               RegionKey(r).slice(),
+                                               RowSlice(rr), nullptr));
+    }
+    for (uint32_t n = 0; n < cfg.nations(); ++n) {
+      NationRow nr{};
+      nr.n_regionkey = static_cast<int32_t>(n % cfg.regions());
+      FillString(nr.n_name, sizeof nr.n_name, rng.AlphaString(6, 24));
+      ERMIA_RETURN_NOT_OK(loader.txn()->Insert(t.nation, t.nation_pk,
+                                               NationKey(n).slice(),
+                                               RowSlice(nr), nullptr));
+    }
+    for (uint32_t s = 0; s < cfg.suppliers(); ++s) {
+      SupplierRow sr{};
+      sr.su_nationkey = static_cast<int32_t>(rng.UniformU64(0, cfg.nations() - 1));
+      sr.su_acctbal = rng.NextDouble() * 10000.0;
+      FillString(sr.su_name, sizeof sr.su_name, rng.AlphaString(10, 24));
+      FillString(sr.su_phone, sizeof sr.su_phone, rng.NumString(14, 14));
+      ERMIA_RETURN_NOT_OK(loader.txn()->Insert(t.supplier, t.supplier_pk,
+                                               SupplierKey(s).slice(),
+                                               RowSlice(sr), nullptr));
+      ERMIA_RETURN_NOT_OK(loader.Tick());
+    }
+  }
+
+  return loader.Finish();
+}
+
+}  // namespace tpcc
+}  // namespace ermia

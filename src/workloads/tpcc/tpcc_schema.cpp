@@ -1,0 +1,51 @@
+#include "workloads/tpcc/tpcc_schema.h"
+
+namespace ermia {
+namespace tpcc {
+
+TpccTables CreateTpccSchema(Database* db, bool hybrid) {
+  TpccTables t;
+  t.warehouse = db->CreateTable("warehouse");
+  t.warehouse_pk = db->CreateIndex(t.warehouse, "warehouse_pk");
+  t.district = db->CreateTable("district");
+  t.district_pk = db->CreateIndex(t.district, "district_pk");
+  t.customer = db->CreateTable("customer");
+  t.customer_pk = db->CreateIndex(t.customer, "customer_pk");
+  t.customer_name = db->CreateIndex(t.customer, "customer_name");
+  t.history = db->CreateTable("history");
+  t.history_pk = db->CreateIndex(t.history, "history_pk");
+  t.neworder = db->CreateTable("new_order");
+  t.neworder_pk = db->CreateIndex(t.neworder, "new_order_pk");
+  t.order = db->CreateTable("oorder");
+  t.order_pk = db->CreateIndex(t.order, "oorder_pk");
+  t.order_cust = db->CreateIndex(t.order, "oorder_cust");
+  t.orderline = db->CreateTable("order_line");
+  t.orderline_pk = db->CreateIndex(t.orderline, "order_line_pk");
+  t.item = db->CreateTable("item");
+  t.item_pk = db->CreateIndex(t.item, "item_pk");
+  t.stock = db->CreateTable("stock");
+  t.stock_pk = db->CreateIndex(t.stock, "stock_pk");
+  if (hybrid) {
+    t.supplier = db->CreateTable("supplier");
+    t.supplier_pk = db->CreateIndex(t.supplier, "supplier_pk");
+    t.nation = db->CreateTable("nation");
+    t.nation_pk = db->CreateIndex(t.nation, "nation_pk");
+    t.region = db->CreateTable("region");
+    t.region_pk = db->CreateIndex(t.region, "region_pk");
+  }
+  return t;
+}
+
+std::string LastName(uint32_t num) {
+  static const char* kSyllables[] = {"BAR",   "OUGHT", "ABLE", "PRI",
+                                     "PRES",  "ESE",   "ANTI", "CALLY",
+                                     "ATION", "EING"};
+  std::string name;
+  name += kSyllables[(num / 100) % 10];
+  name += kSyllables[(num / 10) % 10];
+  name += kSyllables[num % 10];
+  return name;
+}
+
+}  // namespace tpcc
+}  // namespace ermia

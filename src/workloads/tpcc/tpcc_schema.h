@@ -1,0 +1,265 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// TPC-C schema (TPC-C v5.11, §1.3) plus the TPC-CH extension tables
+// (Supplier/Nation/Region) used by the paper's TPC-C-hybrid workload (§4.2).
+// Rows are fixed-layout PODs stored as raw bytes; keys are order-preserving
+// encodings built with KeyEncoder. Non-unique indexes (customer name, order
+// by customer) are made unique by appending the primary key.
+#ifndef ERMIA_WORKLOADS_TPCC_TPCC_SCHEMA_H_
+#define ERMIA_WORKLOADS_TPCC_TPCC_SCHEMA_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/key_encoder.h"
+#include "engine/database.h"
+
+namespace ermia {
+namespace tpcc {
+
+// ---- sizing -----------------------------------------------------------------
+
+struct TpccConfig {
+  uint32_t warehouses = 1;
+  // Population density in (0, 1]: 1.0 = full spec sizes (100K items, 3K
+  // customers/district, ...). Smaller boxes load faster with the same access
+  // distributions.
+  double density = 1.0;
+  bool hybrid = false;  // also load Supplier/Nation/Region (TPC-CH)
+
+  uint32_t items() const {
+    return std::max<uint32_t>(1000, static_cast<uint32_t>(100000 * density));
+  }
+  uint32_t districts() const { return 10; }
+  uint32_t customers_per_district() const {
+    return std::max<uint32_t>(30, static_cast<uint32_t>(3000 * density));
+  }
+  uint32_t initial_orders_per_district() const {
+    return customers_per_district();
+  }
+  uint32_t suppliers() const {
+    return std::max<uint32_t>(100, static_cast<uint32_t>(10000 * density));
+  }
+  uint32_t nations() const { return 62; }
+  uint32_t regions() const { return 5; }
+};
+
+// ---- rows -------------------------------------------------------------------
+
+struct WarehouseRow {
+  double w_tax;
+  double w_ytd;
+  char w_name[11];
+  char w_street_1[21];
+  char w_street_2[21];
+  char w_city[21];
+  char w_state[3];
+  char w_zip[10];
+};
+
+struct DistrictRow {
+  double d_tax;
+  double d_ytd;
+  int32_t d_next_o_id;
+  char d_name[11];
+  char d_street_1[21];
+  char d_street_2[21];
+  char d_city[21];
+  char d_state[3];
+  char d_zip[10];
+};
+
+struct CustomerRow {
+  double c_credit_lim;
+  double c_discount;
+  double c_balance;
+  double c_ytd_payment;
+  int32_t c_payment_cnt;
+  int32_t c_delivery_cnt;
+  char c_first[17];
+  char c_middle[3];
+  char c_last[17];
+  char c_street_1[21];
+  char c_street_2[21];
+  char c_city[21];
+  char c_state[3];
+  char c_zip[10];
+  char c_phone[17];
+  char c_credit[3];
+  uint64_t c_since;
+  char c_data[301];
+};
+
+struct HistoryRow {
+  double h_amount;
+  int32_t h_c_id;
+  int32_t h_c_d_id;
+  int32_t h_c_w_id;
+  int32_t h_d_id;
+  int32_t h_w_id;
+  uint64_t h_date;
+  char h_data[25];
+};
+
+struct NewOrderRow {
+  int32_t no_o_id;
+};
+
+struct OrderRow {
+  int32_t o_c_id;
+  int32_t o_carrier_id;  // 0 = not delivered yet
+  int32_t o_ol_cnt;
+  int32_t o_all_local;
+  uint64_t o_entry_d;
+};
+
+struct OrderLineRow {
+  int32_t ol_i_id;
+  int32_t ol_supply_w_id;
+  int32_t ol_quantity;
+  double ol_amount;
+  uint64_t ol_delivery_d;  // 0 = not delivered
+  char ol_dist_info[25];
+};
+
+struct ItemRow {
+  double i_price;
+  int32_t i_im_id;
+  char i_name[25];
+  char i_data[51];
+};
+
+struct StockRow {
+  int32_t s_quantity;
+  int32_t s_ytd;
+  int32_t s_order_cnt;
+  int32_t s_remote_cnt;
+  char s_dist[10][25];
+  char s_data[51];
+};
+
+// TPC-CH extension (Funke et al., BTW'11), for the Q2* transaction.
+struct SupplierRow {
+  int32_t su_nationkey;
+  double su_acctbal;
+  char su_name[26];
+  char su_phone[16];
+};
+
+struct NationRow {
+  int32_t n_regionkey;
+  char n_name[26];
+};
+
+struct RegionRow {
+  char r_name[26];
+};
+
+template <typename T>
+Slice RowSlice(const T& row) {
+  return Slice(reinterpret_cast<const char*>(&row), sizeof(T));
+}
+
+// Copies a stored row out of version memory (rows are stored as raw structs).
+template <typename T>
+bool LoadRow(const Slice& raw, T* out) {
+  if (raw.size() != sizeof(T)) return false;
+  std::memcpy(out, raw.data(), sizeof(T));
+  return true;
+}
+
+// ---- catalog ----------------------------------------------------------------
+
+struct TpccTables {
+  Table* warehouse = nullptr;
+  Table* district = nullptr;
+  Table* customer = nullptr;
+  Table* history = nullptr;
+  Table* neworder = nullptr;
+  Table* order = nullptr;
+  Table* orderline = nullptr;
+  Table* item = nullptr;
+  Table* stock = nullptr;
+  Table* supplier = nullptr;
+  Table* nation = nullptr;
+  Table* region = nullptr;
+
+  Index* warehouse_pk = nullptr;
+  Index* district_pk = nullptr;
+  Index* customer_pk = nullptr;
+  Index* customer_name = nullptr;  // (w, d, last, first, c_id) -> customer
+  Index* history_pk = nullptr;
+  Index* neworder_pk = nullptr;
+  Index* order_pk = nullptr;
+  Index* order_cust = nullptr;  // (w, d, c, o_id) -> order
+  Index* orderline_pk = nullptr;
+  Index* item_pk = nullptr;
+  Index* stock_pk = nullptr;
+  Index* supplier_pk = nullptr;
+  Index* nation_pk = nullptr;
+  Index* region_pk = nullptr;
+};
+
+// Creates (or looks up, after recovery-style re-creation) the schema.
+TpccTables CreateTpccSchema(Database* db, bool hybrid);
+
+// ---- keys -------------------------------------------------------------------
+
+inline Varstr WarehouseKey(uint32_t w) { return KeyEncoder().U32(w).varstr(); }
+
+inline Varstr DistrictKey(uint32_t w, uint32_t d) {
+  return KeyEncoder().U32(w).U32(d).varstr();
+}
+
+inline Varstr CustomerKey(uint32_t w, uint32_t d, uint32_t c) {
+  return KeyEncoder().U32(w).U32(d).U32(c).varstr();
+}
+
+inline Varstr CustomerNameKey(uint32_t w, uint32_t d, const Slice& last,
+                              const Slice& first, uint32_t c) {
+  return KeyEncoder().U32(w).U32(d).Str(last, 16).Str(first, 16).U32(c).varstr();
+}
+
+inline Varstr CustomerNamePrefix(uint32_t w, uint32_t d, const Slice& last) {
+  return KeyEncoder().U32(w).U32(d).Str(last, 16).varstr();
+}
+
+inline Varstr HistoryKey(uint32_t worker, uint64_t seq) {
+  return KeyEncoder().U32(worker).U64(seq).varstr();
+}
+
+inline Varstr NewOrderKey(uint32_t w, uint32_t d, uint32_t o) {
+  return KeyEncoder().U32(w).U32(d).U32(o).varstr();
+}
+
+inline Varstr OrderKey(uint32_t w, uint32_t d, uint32_t o) {
+  return KeyEncoder().U32(w).U32(d).U32(o).varstr();
+}
+
+inline Varstr OrderCustKey(uint32_t w, uint32_t d, uint32_t c, uint32_t o) {
+  return KeyEncoder().U32(w).U32(d).U32(c).U32(o).varstr();
+}
+
+inline Varstr OrderLineKey(uint32_t w, uint32_t d, uint32_t o, uint32_t ol) {
+  return KeyEncoder().U32(w).U32(d).U32(o).U32(ol).varstr();
+}
+
+inline Varstr ItemKey(uint32_t i) { return KeyEncoder().U32(i).varstr(); }
+
+inline Varstr StockKey(uint32_t w, uint32_t i) {
+  return KeyEncoder().U32(w).U32(i).varstr();
+}
+
+inline Varstr SupplierKey(uint32_t s) { return KeyEncoder().U32(s).varstr(); }
+inline Varstr NationKey(uint32_t n) { return KeyEncoder().U32(n).varstr(); }
+inline Varstr RegionKey(uint32_t r) { return KeyEncoder().U32(r).varstr(); }
+
+// TPC-C 4.3.2.3: customer last names from three-syllable construction.
+std::string LastName(uint32_t num);
+
+}  // namespace tpcc
+}  // namespace ermia
+
+#endif  // ERMIA_WORKLOADS_TPCC_TPCC_SCHEMA_H_

@@ -1,0 +1,61 @@
+#include "workloads/tpcc/tpcc_workload.h"
+
+namespace ermia {
+namespace tpcc {
+
+namespace {
+
+// Paper §4.2 mixes. Standard TPC-C keeps the spec's 45/43/4/4/4;
+// TPC-C-hybrid is 40/38/10% Q2*/4/4/4.
+constexpr double kStandardMix[5] = {0.45, 0.43, 0.04, 0.04, 0.04};
+constexpr double kHybridMix[6] = {0.40, 0.38, 0.04, 0.04, 0.04, 0.10};
+
+const char* kNames[6] = {"NewOrder", "Payment",    "OrderStatus",
+                         "Delivery", "StockLevel", "Q2*"};
+
+}  // namespace
+
+Status TpccWorkload::Load(Database* db) {
+  tables_ = CreateTpccSchema(db, cfg_.hybrid);
+  return LoadTpcc(db, tables_, cfg_);
+}
+
+const char* TpccWorkload::TxnTypeName(size_t type) const {
+  return kNames[type];
+}
+
+size_t TpccWorkload::PickTxnType(FastRandom& rng) const {
+  const double* mix = opts_.hybrid ? kHybridMix : kStandardMix;
+  const size_t n = NumTxnTypes();
+  double x = rng.NextDouble();
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (x < mix[i]) return i;
+    x -= mix[i];
+  }
+  return n - 1;
+}
+
+Status TpccWorkload::RunTxn(Database* db, CcScheme scheme, size_t type,
+                            uint32_t worker_id, uint32_t num_workers,
+                            FastRandom& rng) {
+  TpccCtx ctx{db,        &tables_,    &cfg_, scheme,       worker_id,
+              num_workers, &rng,      opts_.policy, &history_seq_};
+  switch (static_cast<TpccTxnType>(type)) {
+    case TpccTxnType::kNewOrder:
+      return TxnNewOrder(ctx);
+    case TpccTxnType::kPayment:
+      return TxnPayment(ctx);
+    case TpccTxnType::kOrderStatus:
+      return TxnOrderStatus(ctx);
+    case TpccTxnType::kDelivery:
+      return TxnDelivery(ctx);
+    case TpccTxnType::kStockLevel:
+      return TxnStockLevel(ctx);
+    case TpccTxnType::kQ2Star:
+      return TxnQ2Star(ctx, opts_.q2_fraction);
+  }
+  return Status::InvalidArgument("unknown tpcc txn type");
+}
+
+}  // namespace tpcc
+}  // namespace ermia

@@ -1,0 +1,97 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// TPC-C and TPC-C-hybrid workloads (paper §4.2). The database is partitioned
+// by warehouse with one home warehouse per worker; 1% of NewOrder and 15% of
+// Payment transactions are cross-partition. TPC-C-hybrid adds the TPC-CH Q2*
+// read-mostly transaction with mix 40/38/10/4/4/4 (NewOrder/Payment/Q2*/
+// OrderStatus/StockLevel/Delivery). Fig. 8 additionally drives home-warehouse
+// selection uniformly at random or with an 80-20 skew.
+#ifndef ERMIA_WORKLOADS_TPCC_TPCC_WORKLOAD_H_
+#define ERMIA_WORKLOADS_TPCC_TPCC_WORKLOAD_H_
+
+#include <atomic>
+#include <memory>
+
+#include "bench/driver.h"
+#include "workloads/tpcc/tpcc_schema.h"
+
+namespace ermia {
+namespace tpcc {
+
+enum class TpccTxnType : size_t {
+  kNewOrder = 0,
+  kPayment = 1,
+  kOrderStatus = 2,
+  kDelivery = 3,
+  kStockLevel = 4,
+  kQ2Star = 5,
+};
+
+enum class PartitionPolicy {
+  kLocal,       // worker's home warehouse (paper's default setup)
+  kUniform,     // uniformly random warehouse per transaction (Fig. 8 left)
+  kSkewed8020,  // 80% of transactions on 20% of warehouses (Fig. 8 right)
+};
+
+struct TpccRunOptions {
+  bool hybrid = false;        // include Q2* in the mix
+  double q2_fraction = 0.1;   // footprint: fraction of the stock range scanned
+  PartitionPolicy policy = PartitionPolicy::kLocal;
+};
+
+// Per-transaction execution context.
+struct TpccCtx {
+  Database* db;
+  const TpccTables* t;
+  const TpccConfig* cfg;
+  CcScheme scheme;
+  uint32_t worker;
+  uint32_t num_workers;
+  FastRandom* rng;
+  PartitionPolicy policy;
+  std::atomic<uint64_t>* history_seq;
+};
+
+// Home-warehouse selection under the given policy.
+uint32_t PickHomeWarehouse(const TpccCtx& ctx);
+
+Status LoadTpcc(Database* db, const TpccTables& tables, const TpccConfig& cfg);
+
+Status TxnNewOrder(TpccCtx& ctx);
+Status TxnPayment(TpccCtx& ctx);
+Status TxnOrderStatus(TpccCtx& ctx);
+Status TxnDelivery(TpccCtx& ctx);
+Status TxnStockLevel(TpccCtx& ctx);
+// TPC-CH Q2* (paper §4.2): scans `fraction` of the item/stock range across
+// all warehouses for suppliers of a random region and restocks items whose
+// quantity fell below a threshold — long, read-mostly, few writes.
+Status TxnQ2Star(TpccCtx& ctx, double fraction);
+
+class TpccWorkload : public bench::Workload {
+ public:
+  TpccWorkload(TpccConfig cfg, TpccRunOptions opts)
+      : cfg_(cfg), opts_(opts) {
+    cfg_.hybrid = cfg_.hybrid || opts_.hybrid;
+  }
+
+  Status Load(Database* db) override;
+  size_t NumTxnTypes() const override { return opts_.hybrid ? 6 : 5; }
+  const char* TxnTypeName(size_t type) const override;
+  size_t PickTxnType(FastRandom& rng) const override;
+  Status RunTxn(Database* db, CcScheme scheme, size_t type, uint32_t worker_id,
+                uint32_t num_workers, FastRandom& rng) override;
+
+  const TpccTables& tables() const { return tables_; }
+  const TpccConfig& config() const { return cfg_; }
+
+ private:
+  TpccConfig cfg_;
+  TpccRunOptions opts_;
+  TpccTables tables_;
+  std::atomic<uint64_t> history_seq_{0};
+};
+
+}  // namespace tpcc
+}  // namespace ermia
+
+#endif  // ERMIA_WORKLOADS_TPCC_TPCC_WORKLOAD_H_

@@ -1,0 +1,246 @@
+// TPC-E initial population: customers, accounts (assigned to brokers),
+// securities with last-trade prices, initial holdings (with matching holding
+// summaries), and a backlog of completed trades.
+#include <memory>
+
+#include "workloads/tpce/tpce_workload.h"
+
+namespace ermia {
+namespace tpce {
+
+namespace {
+constexpr uint32_t kBatch = 512;
+
+void FillString(char* dst, size_t cap, const std::string& s) {
+  const size_t n = std::min(cap - 1, s.size());
+  std::memcpy(dst, s.data(), n);
+  dst[n] = '\0';
+}
+}  // namespace
+
+Status LoadTpce(Database* db, const TpceTables& t, const TpceConfig& cfg,
+                uint64_t* loaded_trades) {
+  FastRandom rng(0x7E57);
+  std::unique_ptr<Transaction> txn;
+  uint64_t ops = 0;
+  auto tick = [&]() -> Status {
+    if (!txn) txn = std::make_unique<Transaction>(db, CcScheme::kSi);
+    if (++ops % kBatch == 0) {
+      ERMIA_RETURN_NOT_OK(txn->Commit());
+      txn = std::make_unique<Transaction>(db, CcScheme::kSi);
+    }
+    return Status::OK();
+  };
+  txn = std::make_unique<Transaction>(db, CcScheme::kSi);
+
+  const uint32_t C = cfg.num_customers();
+  const uint32_t A = cfg.num_accounts();
+  const uint32_t S = cfg.num_securities();
+  const uint32_t B = cfg.num_brokers();
+  const uint32_t CO = cfg.num_companies();
+
+  // Static reference tables (TPC-E has fixed dimension rows).
+  static const char* kTradeTypes[] = {"TMB", "TMS", "TSL", "TLS", "TLB"};
+  for (uint32_t tt = 1; tt <= cfg.num_trade_types(); ++tt) {
+    TradeTypeRow row{};
+    row.tt_is_sell = static_cast<int32_t>(tt % 2);
+    row.tt_is_market = static_cast<int32_t>(tt <= 2);
+    FillString(row.tt_name, sizeof row.tt_name, kTradeTypes[(tt - 1) % 5]);
+    ERMIA_RETURN_NOT_OK(txn->Insert(t.trade_type, t.trade_type_pk,
+                                    TradeTypeKey(tt).slice(), RowSlice(row),
+                                    nullptr));
+  }
+  static const char* kStatuses[] = {"PNDG", "CMPT", "CNCL", "SBMT", "ACTV"};
+  for (uint32_t st = 1; st <= cfg.num_status_types(); ++st) {
+    StatusTypeRow row{};
+    FillString(row.st_name, sizeof row.st_name, kStatuses[(st - 1) % 5]);
+    ERMIA_RETURN_NOT_OK(txn->Insert(t.status_type, t.status_type_pk,
+                                    StatusTypeKey(st).slice(), RowSlice(row),
+                                    nullptr));
+  }
+  for (uint32_t ex = 1; ex <= cfg.num_exchanges(); ++ex) {
+    ExchangeRow row{};
+    row.ex_num_symb = static_cast<int32_t>(S / cfg.num_exchanges());
+    row.ex_open = 930;
+    row.ex_close = 1600;
+    FillString(row.ex_name, sizeof row.ex_name, rng.AlphaString(10, 30));
+    ERMIA_RETURN_NOT_OK(txn->Insert(t.exchange, t.exchange_pk,
+                                    ExchangeKey(ex).slice(), RowSlice(row),
+                                    nullptr));
+  }
+  for (uint32_t co = 1; co <= CO; ++co) {
+    CompanyRow row{};
+    row.co_ex_id = (co % cfg.num_exchanges()) + 1;
+    FillString(row.co_name, sizeof row.co_name, rng.AlphaString(10, 30));
+    FillString(row.co_ceo, sizeof row.co_ceo, rng.AlphaString(10, 30));
+    FillString(row.co_sector, sizeof row.co_sector, rng.AlphaString(6, 20));
+    ERMIA_RETURN_NOT_OK(txn->Insert(t.company, t.company_pk,
+                                    CompanyKey(co).slice(), RowSlice(row),
+                                    nullptr));
+    ERMIA_RETURN_NOT_OK(tick());
+  }
+
+  for (uint32_t b = 1; b <= B; ++b) {
+    BrokerRow row{};
+    row.b_num_trades = 0;
+    row.b_comm_total = 0;
+    FillString(row.b_name, sizeof row.b_name, rng.AlphaString(10, 30));
+    ERMIA_RETURN_NOT_OK(txn->Insert(t.broker, t.broker_pk,
+                                    BrokerKey(b).slice(), RowSlice(row),
+                                    nullptr));
+    ERMIA_RETURN_NOT_OK(tick());
+  }
+
+  for (uint32_t s = 1; s <= S; ++s) {
+    SecurityRow row{};
+    row.s_issue_id = s;
+    row.s_co_id = (s % CO) + 1;
+    row.s_ex_id = (s % cfg.num_exchanges()) + 1;
+    FillString(row.s_name, sizeof row.s_name, rng.AlphaString(10, 30));
+    ERMIA_RETURN_NOT_OK(txn->Insert(t.security, t.security_pk,
+                                    SecurityKey(s).slice(), RowSlice(row),
+                                    nullptr));
+    LastTradeRow lt{};
+    lt.lt_price = 10.0 + rng.NextDouble() * 190.0;
+    lt.lt_vol = 0;
+    lt.lt_dts = 0;
+    ERMIA_RETURN_NOT_OK(txn->Insert(t.last_trade, t.last_trade_pk,
+                                    LastTradeKey(s).slice(), RowSlice(lt),
+                                    nullptr));
+    // Price history (DailyMarket), oldest day first.
+    double close = lt.lt_price;
+    for (uint32_t day = 1; day <= cfg.daily_market_days; ++day) {
+      DailyMarketRow dm{};
+      dm.dm_close = close;
+      dm.dm_high = close * (1.0 + rng.NextDouble() * 0.05);
+      dm.dm_low = close * (1.0 - rng.NextDouble() * 0.05);
+      dm.dm_vol = static_cast<int64_t>(rng.UniformU64(1000, 100000));
+      ERMIA_RETURN_NOT_OK(txn->Insert(t.daily_market, t.daily_market_pk,
+                                      DailyMarketKey(s, day).slice(),
+                                      RowSlice(dm), nullptr));
+      close *= 1.0 + (rng.NextDouble() - 0.5) * 0.04;
+    }
+    ERMIA_RETURN_NOT_OK(tick());
+  }
+
+  for (uint32_t c = 1; c <= C; ++c) {
+    CustomerRow row{};
+    row.c_tier = static_cast<int32_t>(rng.UniformU64(1, 3));
+    FillString(row.c_name, sizeof row.c_name, rng.AlphaString(10, 30));
+    ERMIA_RETURN_NOT_OK(txn->Insert(t.customer, t.customer_pk,
+                                    CustomerKey(c).slice(), RowSlice(row),
+                                    nullptr));
+    // One watch list per customer with a handful of securities.
+    WatchListRow wl{};
+    wl.wl_c_id = c;
+    ERMIA_RETURN_NOT_OK(txn->Insert(t.watch_list, t.watch_list_pk,
+                                    WatchListKey(c).slice(), RowSlice(wl),
+                                    nullptr));
+    for (uint32_t i = 0; i < cfg.watch_items_per_list; ++i) {
+      WatchItemRow wi{};
+      wi.wi_s_id = static_cast<uint32_t>(rng.UniformU64(1, S));
+      ERMIA_RETURN_NOT_OK(txn->Insert(t.watch_item, t.watch_item_pk,
+                                      WatchItemKey(c, i).slice(),
+                                      RowSlice(wi), nullptr));
+    }
+    ERMIA_RETURN_NOT_OK(tick());
+  }
+
+  uint64_t trade_id = 0;
+  for (uint32_t ca = 1; ca <= A; ++ca) {
+    AccountRow row{};
+    row.ca_c_id = (ca - 1) / cfg.accounts_per_customer + 1;
+    row.ca_b_id = static_cast<uint32_t>(rng.UniformU64(1, B));
+    row.ca_bal = 10000.0 + rng.NextDouble() * 90000.0;
+    FillString(row.ca_name, sizeof row.ca_name, rng.AlphaString(10, 30));
+    ERMIA_RETURN_NOT_OK(txn->Insert(t.account, t.account_pk,
+                                    AccountKey(ca).slice(), RowSlice(row),
+                                    nullptr));
+
+    // Initial holdings (+ summaries), one security at a time.
+    for (uint32_t h = 0; h < cfg.holdings_per_account; ++h) {
+      const uint32_t s = static_cast<uint32_t>(rng.UniformU64(1, S));
+      const int32_t qty = static_cast<int32_t>(rng.UniformU64(100, 800));
+      HoldingSummaryRow hs{};
+      // Duplicate security for this account: fold into the summary.
+      Slice existing;
+      Status got = txn->Get(t.holding_summary_pk,
+                            HoldingSummaryKey(ca, s).slice(), &existing);
+      if (got.ok()) {
+        LoadRow(existing, &hs);
+        hs.hs_qty += qty;
+        Oid oid = 0;
+        ERMIA_RETURN_NOT_OK(txn->GetOid(t.holding_summary_pk,
+                                        HoldingSummaryKey(ca, s).slice(), &oid));
+        ERMIA_RETURN_NOT_OK(txn->Update(t.holding_summary, oid, RowSlice(hs)));
+      } else if (got.IsNotFound()) {
+        hs.hs_qty = qty;
+        ERMIA_RETURN_NOT_OK(txn->Insert(t.holding_summary,
+                                        t.holding_summary_pk,
+                                        HoldingSummaryKey(ca, s).slice(),
+                                        RowSlice(hs), nullptr));
+      } else {
+        return got;
+      }
+
+      ++trade_id;
+      HoldingRow hr{};
+      hr.h_qty = qty;
+      hr.h_price = 10.0 + rng.NextDouble() * 190.0;
+      ERMIA_RETURN_NOT_OK(txn->Insert(t.holding, t.holding_pk,
+                                      HoldingKey(ca, s, trade_id).slice(),
+                                      RowSlice(hr), nullptr));
+
+      TradeRow tr{};
+      tr.t_ca_id = ca;
+      tr.t_s_id = s;
+      tr.t_qty = qty;
+      tr.t_price = hr.h_price;
+      tr.t_status = kTradeCompleted;
+      tr.t_is_buy = 1;
+      tr.t_dts = trade_id;
+      Oid t_oid = 0;
+      ERMIA_RETURN_NOT_OK(txn->Insert(t.trade, t.trade_pk,
+                                      TradeKey(trade_id).slice(), RowSlice(tr),
+                                      &t_oid));
+      ERMIA_RETURN_NOT_OK(txn->InsertIndexEntry(
+          t.trade_by_acct, TradeByAcctKey(ca, trade_id).slice(), t_oid));
+      TradeHistoryRow th{};
+      th.th_status = kTradeCompleted;
+      th.th_dts = trade_id;
+      ERMIA_RETURN_NOT_OK(txn->Insert(t.trade_history, t.trade_history_pk,
+                                      TradeHistoryKey(trade_id, 0).slice(),
+                                      RowSlice(th), nullptr));
+      ERMIA_RETURN_NOT_OK(tick());
+    }
+
+    // Extra completed trades beyond the holdings backlog.
+    for (uint32_t k = cfg.holdings_per_account;
+         k < cfg.initial_trades_per_account; ++k) {
+      ++trade_id;
+      TradeRow tr{};
+      tr.t_ca_id = ca;
+      tr.t_s_id = static_cast<uint32_t>(rng.UniformU64(1, S));
+      tr.t_qty = static_cast<int32_t>(rng.UniformU64(100, 800));
+      tr.t_price = 10.0 + rng.NextDouble() * 190.0;
+      tr.t_status = kTradeCompleted;
+      tr.t_is_buy = static_cast<int32_t>(rng.UniformU64(0, 1));
+      tr.t_dts = trade_id;
+      Oid t_oid = 0;
+      ERMIA_RETURN_NOT_OK(txn->Insert(t.trade, t.trade_pk,
+                                      TradeKey(trade_id).slice(), RowSlice(tr),
+                                      &t_oid));
+      ERMIA_RETURN_NOT_OK(txn->InsertIndexEntry(
+          t.trade_by_acct, TradeByAcctKey(ca, trade_id).slice(), t_oid));
+      ERMIA_RETURN_NOT_OK(tick());
+    }
+  }
+
+  Status final = txn->Commit();
+  txn.reset();
+  if (loaded_trades != nullptr) *loaded_trades = trade_id;
+  return final;
+}
+
+}  // namespace tpce
+}  // namespace ermia

@@ -1,0 +1,48 @@
+#include "workloads/tpce/tpce_schema.h"
+
+namespace ermia {
+namespace tpce {
+
+TpceTables CreateTpceSchema(Database* db) {
+  TpceTables t;
+  t.customer = db->CreateTable("e_customer");
+  t.customer_pk = db->CreateIndex(t.customer, "e_customer_pk");
+  t.account = db->CreateTable("e_customer_account");
+  t.account_pk = db->CreateIndex(t.account, "e_customer_account_pk");
+  t.broker = db->CreateTable("e_broker");
+  t.broker_pk = db->CreateIndex(t.broker, "e_broker_pk");
+  t.security = db->CreateTable("e_security");
+  t.security_pk = db->CreateIndex(t.security, "e_security_pk");
+  t.last_trade = db->CreateTable("e_last_trade");
+  t.last_trade_pk = db->CreateIndex(t.last_trade, "e_last_trade_pk");
+  t.trade = db->CreateTable("e_trade");
+  t.trade_pk = db->CreateIndex(t.trade, "e_trade_pk");
+  t.trade_by_acct = db->CreateIndex(t.trade, "e_trade_by_acct");
+  t.trade_history = db->CreateTable("e_trade_history");
+  t.trade_history_pk = db->CreateIndex(t.trade_history, "e_trade_history_pk");
+  t.holding_summary = db->CreateTable("e_holding_summary");
+  t.holding_summary_pk =
+      db->CreateIndex(t.holding_summary, "e_holding_summary_pk");
+  t.holding = db->CreateTable("e_holding");
+  t.holding_pk = db->CreateIndex(t.holding, "e_holding_pk");
+  t.asset_history = db->CreateTable("e_asset_history");
+  t.asset_history_pk = db->CreateIndex(t.asset_history, "e_asset_history_pk");
+  t.exchange = db->CreateTable("e_exchange");
+  t.exchange_pk = db->CreateIndex(t.exchange, "e_exchange_pk");
+  t.company = db->CreateTable("e_company");
+  t.company_pk = db->CreateIndex(t.company, "e_company_pk");
+  t.daily_market = db->CreateTable("e_daily_market");
+  t.daily_market_pk = db->CreateIndex(t.daily_market, "e_daily_market_pk");
+  t.watch_list = db->CreateTable("e_watch_list");
+  t.watch_list_pk = db->CreateIndex(t.watch_list, "e_watch_list_pk");
+  t.watch_item = db->CreateTable("e_watch_item");
+  t.watch_item_pk = db->CreateIndex(t.watch_item, "e_watch_item_pk");
+  t.trade_type = db->CreateTable("e_trade_type");
+  t.trade_type_pk = db->CreateIndex(t.trade_type, "e_trade_type_pk");
+  t.status_type = db->CreateTable("e_status_type");
+  t.status_type_pk = db->CreateIndex(t.status_type, "e_status_type_pk");
+  return t;
+}
+
+}  // namespace tpce
+}  // namespace ermia

@@ -1,0 +1,253 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// Simplified TPC-E schema (paper §4.2; see DESIGN.md substitutions). The
+// simplification keeps what the evaluation depends on: a read-heavy mix
+// (~10:1), brokerage-shaped joins (account -> holding summary -> last trade),
+// and the AssetEval/TradeResult contention on HoldingSummary and LastTrade.
+#ifndef ERMIA_WORKLOADS_TPCE_TPCE_SCHEMA_H_
+#define ERMIA_WORKLOADS_TPCE_TPCE_SCHEMA_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/key_encoder.h"
+#include "engine/database.h"
+
+namespace ermia {
+namespace tpce {
+
+struct TpceConfig {
+  uint32_t daily_market_days = 5;   // days of price history per security
+  uint32_t watch_items_per_list = 10;
+
+  // Paper setup: 5000 customers, 500 scale factor, 10 initial trading days.
+  uint32_t customers = 5000;
+  double density = 1.0;
+  uint32_t accounts_per_customer = 2;
+  uint32_t initial_trades_per_account = 8;  // "initial trading days" stand-in
+  uint32_t holdings_per_account = 5;
+
+  uint32_t num_customers() const {
+    return std::max<uint32_t>(200, static_cast<uint32_t>(customers * density));
+  }
+  uint32_t num_accounts() const {
+    return num_customers() * accounts_per_customer;
+  }
+  uint32_t num_securities() const {
+    return std::max<uint32_t>(100, num_customers() / 5);
+  }
+  uint32_t num_brokers() const {
+    return std::max<uint32_t>(10, num_customers() / 100);
+  }
+  uint32_t num_companies() const {
+    return std::max<uint32_t>(50, num_securities() / 2);
+  }
+  uint32_t num_exchanges() const { return 4; }
+  uint32_t num_trade_types() const { return 5; }
+  uint32_t num_status_types() const { return 5; }
+};
+
+// ---- rows -------------------------------------------------------------------
+
+struct CustomerRow {
+  int32_t c_tier;
+  char c_name[49];
+};
+
+struct ExchangeRow {
+  int32_t ex_num_symb;
+  int32_t ex_open;
+  int32_t ex_close;
+  char ex_name[49];
+};
+
+struct CompanyRow {
+  uint32_t co_ex_id;   // listing exchange
+  char co_name[49];
+  char co_ceo[47];
+  char co_sector[31];
+};
+
+struct DailyMarketRow {
+  double dm_close;
+  double dm_high;
+  double dm_low;
+  int64_t dm_vol;
+};
+
+struct WatchListRow {
+  uint32_t wl_c_id;
+};
+
+struct WatchItemRow {
+  uint32_t wi_s_id;
+};
+
+struct TradeTypeRow {
+  int32_t tt_is_sell;
+  int32_t tt_is_market;
+  char tt_name[13];
+};
+
+struct StatusTypeRow {
+  char st_name[11];
+};
+
+struct AccountRow {
+  uint32_t ca_c_id;
+  uint32_t ca_b_id;
+  double ca_bal;
+  char ca_name[41];
+};
+
+struct BrokerRow {
+  int64_t b_num_trades;
+  double b_comm_total;
+  char b_name[49];
+};
+
+struct SecurityRow {
+  uint32_t s_issue_id;
+  uint32_t s_co_id;  // issuing company
+  uint32_t s_ex_id;  // listing exchange
+  char s_name[49];
+};
+
+struct LastTradeRow {
+  double lt_price;
+  int64_t lt_vol;
+  uint64_t lt_dts;
+};
+
+enum TradeStatus : int32_t {
+  kTradePending = 0,
+  kTradeCompleted = 1,
+  kTradeCanceled = 2,
+};
+
+struct TradeRow {
+  uint32_t t_ca_id;
+  uint32_t t_s_id;
+  int32_t t_qty;
+  double t_price;
+  int32_t t_status;
+  int32_t t_is_buy;
+  uint64_t t_dts;
+};
+
+struct TradeHistoryRow {
+  int32_t th_status;
+  uint64_t th_dts;
+};
+
+struct HoldingSummaryRow {
+  int64_t hs_qty;
+};
+
+struct HoldingRow {
+  int32_t h_qty;
+  double h_price;
+};
+
+struct AssetHistoryRow {
+  uint32_t ah_ca_id;
+  double ah_assets;
+  uint64_t ah_dts;
+};
+
+template <typename T>
+Slice RowSlice(const T& row) {
+  return Slice(reinterpret_cast<const char*>(&row), sizeof(T));
+}
+
+template <typename T>
+bool LoadRow(const Slice& raw, T* out) {
+  if (raw.size() != sizeof(T)) return false;
+  std::memcpy(out, raw.data(), sizeof(T));
+  return true;
+}
+
+// ---- catalog ----------------------------------------------------------------
+
+struct TpceTables {
+  Table* customer = nullptr;
+  Table* account = nullptr;
+  Table* broker = nullptr;
+  Table* security = nullptr;
+  Table* last_trade = nullptr;
+  Table* trade = nullptr;
+  Table* trade_history = nullptr;
+  Table* holding_summary = nullptr;
+  Table* holding = nullptr;
+  Table* asset_history = nullptr;
+  Table* exchange = nullptr;
+  Table* company = nullptr;
+  Table* daily_market = nullptr;
+  Table* watch_list = nullptr;
+  Table* watch_item = nullptr;
+  Table* trade_type = nullptr;
+  Table* status_type = nullptr;
+
+  Index* customer_pk = nullptr;
+  Index* account_pk = nullptr;
+  Index* broker_pk = nullptr;
+  Index* security_pk = nullptr;
+  Index* last_trade_pk = nullptr;
+  Index* trade_pk = nullptr;
+  Index* trade_by_acct = nullptr;  // (ca_id, t_id)
+  Index* trade_history_pk = nullptr;
+  Index* holding_summary_pk = nullptr;  // (ca_id, s_id)
+  Index* holding_pk = nullptr;          // (ca_id, s_id, t_id)
+  Index* asset_history_pk = nullptr;
+  Index* exchange_pk = nullptr;
+  Index* company_pk = nullptr;
+  Index* daily_market_pk = nullptr;  // (s_id, day)
+  Index* watch_list_pk = nullptr;    // (wl_id) == customer id
+  Index* watch_item_pk = nullptr;    // (wl_id, seq)
+  Index* trade_type_pk = nullptr;
+  Index* status_type_pk = nullptr;
+};
+
+TpceTables CreateTpceSchema(Database* db);
+
+// ---- keys -------------------------------------------------------------------
+
+inline Varstr CustomerKey(uint32_t c) { return KeyEncoder().U32(c).varstr(); }
+inline Varstr AccountKey(uint32_t ca) { return KeyEncoder().U32(ca).varstr(); }
+inline Varstr BrokerKey(uint32_t b) { return KeyEncoder().U32(b).varstr(); }
+inline Varstr SecurityKey(uint32_t s) { return KeyEncoder().U32(s).varstr(); }
+inline Varstr LastTradeKey(uint32_t s) { return KeyEncoder().U32(s).varstr(); }
+inline Varstr TradeKey(uint64_t t) { return KeyEncoder().U64(t).varstr(); }
+inline Varstr TradeByAcctKey(uint32_t ca, uint64_t t) {
+  return KeyEncoder().U32(ca).U64(t).varstr();
+}
+inline Varstr TradeHistoryKey(uint64_t t, uint32_t seq) {
+  return KeyEncoder().U64(t).U32(seq).varstr();
+}
+inline Varstr HoldingSummaryKey(uint32_t ca, uint32_t s) {
+  return KeyEncoder().U32(ca).U32(s).varstr();
+}
+inline Varstr HoldingKey(uint32_t ca, uint32_t s, uint64_t t) {
+  return KeyEncoder().U32(ca).U32(s).U64(t).varstr();
+}
+inline Varstr AssetHistoryKey(uint32_t worker, uint64_t seq) {
+  return KeyEncoder().U32(worker).U64(seq).varstr();
+}
+inline Varstr ExchangeKey(uint32_t ex) { return KeyEncoder().U32(ex).varstr(); }
+inline Varstr CompanyKey(uint32_t co) { return KeyEncoder().U32(co).varstr(); }
+inline Varstr DailyMarketKey(uint32_t s, uint32_t day) {
+  return KeyEncoder().U32(s).U32(day).varstr();
+}
+inline Varstr WatchListKey(uint32_t wl) { return KeyEncoder().U32(wl).varstr(); }
+inline Varstr WatchItemKey(uint32_t wl, uint32_t seq) {
+  return KeyEncoder().U32(wl).U32(seq).varstr();
+}
+inline Varstr TradeTypeKey(uint32_t tt) { return KeyEncoder().U32(tt).varstr(); }
+inline Varstr StatusTypeKey(uint32_t st) {
+  return KeyEncoder().U32(st).varstr();
+}
+
+}  // namespace tpce
+}  // namespace ermia
+
+#endif  // ERMIA_WORKLOADS_TPCE_TPCE_SCHEMA_H_

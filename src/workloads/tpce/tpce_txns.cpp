@@ -1,0 +1,421 @@
+// Simplified TPC-E transactions (paper §4.2 mix). Footprints follow the
+// spec's shapes: mostly reads, with TradeOrder/TradeResult/MarketFeed doing
+// the writing, and AssetEval (TPC-E-hybrid) contending with TradeResult on
+// HoldingSummary and with MarketFeed on LastTrade.
+#include <vector>
+
+#include "workloads/tpce/tpce_workload.h"
+
+namespace ermia {
+namespace tpce {
+
+namespace {
+
+template <typename Row>
+Status ReadRowByKey(Transaction& txn, Index* index, const Varstr& key,
+                    Row* row, Oid* oid = nullptr) {
+  Oid o = 0;
+  ERMIA_RETURN_NOT_OK(txn.GetOid(index, key.slice(), &o));
+  Slice raw;
+  ERMIA_RETURN_NOT_OK(txn.Read(index->table(), o, &raw));
+  if (!LoadRow(raw, row)) return Status::Corruption("tpce row size");
+  if (oid != nullptr) *oid = o;
+  return Status::OK();
+}
+
+}  // namespace
+
+// BrokerVolume (read-only): volumes of a panel of brokers.
+Status TxnBrokerVolume(TpceCtx& ctx) {
+  Transaction txn(ctx.db, ctx.scheme, /*read_only=*/true);
+  const uint32_t B = ctx.cfg->num_brokers();
+  const uint32_t n = std::min<uint32_t>(B, 40);
+  int64_t volume = 0;
+  for (uint32_t k = 0; k < n; ++k) {
+    const uint32_t b = static_cast<uint32_t>(ctx.rng->UniformU64(1, B));
+    BrokerRow row;
+    ERMIA_RETURN_NOT_OK(ReadRowByKey(txn, ctx.t->broker_pk, BrokerKey(b), &row));
+    volume += row.b_num_trades;
+  }
+  (void)volume;
+  return txn.Commit();
+}
+
+// CustomerPosition (read-only): accounts of a customer with asset totals.
+Status TxnCustomerPosition(TpceCtx& ctx) {
+  Transaction txn(ctx.db, ctx.scheme, /*read_only=*/true);
+  const uint32_t c = static_cast<uint32_t>(
+      ctx.rng->UniformU64(1, ctx.cfg->num_customers()));
+  CustomerRow cr;
+  ERMIA_RETURN_NOT_OK(ReadRowByKey(txn, ctx.t->customer_pk, CustomerKey(c), &cr));
+  for (uint32_t a = 0; a < ctx.cfg->accounts_per_customer; ++a) {
+    const uint32_t ca = (c - 1) * ctx.cfg->accounts_per_customer + a + 1;
+    AccountRow ar;
+    ERMIA_RETURN_NOT_OK(ReadRowByKey(txn, ctx.t->account_pk, AccountKey(ca), &ar));
+    double assets = ar.ca_bal;
+    Status s = txn.Scan(
+        ctx.t->holding_summary_pk, HoldingSummaryKey(ca, 0).slice(),
+        HoldingSummaryKey(ca, UINT32_MAX).slice(), -1,
+        [&](const Slice& key, const Slice& value) {
+          HoldingSummaryRow hs;
+          if (!LoadRow(value, &hs)) return true;
+          KeyDecoder dec(key);
+          dec.U32();
+          const uint32_t s_id = dec.U32();
+          LastTradeRow lt;
+          if (ReadRowByKey(txn, ctx.t->last_trade_pk, LastTradeKey(s_id), &lt)
+                  .ok()) {
+            assets += static_cast<double>(hs.hs_qty) * lt.lt_price;
+          }
+          return true;
+        });
+    ERMIA_RETURN_NOT_OK(s);
+    (void)assets;
+  }
+  return txn.Commit();
+}
+
+// MarketFeed (read-write): ticker updates for a batch of securities.
+Status TxnMarketFeed(TpceCtx& ctx) {
+  Transaction txn(ctx.db, ctx.scheme);
+  const uint32_t S = ctx.cfg->num_securities();
+  const uint32_t n = std::min<uint32_t>(S, 20);
+  for (uint32_t k = 0; k < n; ++k) {
+    const uint32_t s = static_cast<uint32_t>(ctx.rng->UniformU64(1, S));
+    LastTradeRow lt;
+    Oid oid = 0;
+    ERMIA_RETURN_NOT_OK(
+        ReadRowByKey(txn, ctx.t->last_trade_pk, LastTradeKey(s), &lt, &oid));
+    lt.lt_price *= 1.0 + (ctx.rng->NextDouble() - 0.5) * 0.01;
+    lt.lt_vol += 100;
+    lt.lt_dts++;
+    ERMIA_RETURN_NOT_OK(txn.Update(ctx.t->last_trade, oid, RowSlice(lt)));
+  }
+  return txn.Commit();
+}
+
+// MarketWatch (read-only): price snapshot of a customer's watch list
+// (TPC-E 3.3.5: compute the percentage change of the watched securities),
+// falling back to a security range for customers without lists.
+Status TxnMarketWatch(TpceCtx& ctx) {
+  Transaction txn(ctx.db, ctx.scheme, /*read_only=*/true);
+  const uint32_t c = static_cast<uint32_t>(
+      ctx.rng->UniformU64(1, ctx.cfg->num_customers()));
+  Slice raw;
+  Status wl = txn.Get(ctx.t->watch_list_pk, WatchListKey(c).slice(), &raw);
+  double new_mkt_cap = 0, old_mkt_cap = 0;
+  if (wl.ok()) {
+    Status s = txn.Scan(
+        ctx.t->watch_item_pk, WatchItemKey(c, 0).slice(),
+        WatchItemKey(c, UINT32_MAX).slice(), -1,
+        [&](const Slice&, const Slice& value) {
+          WatchItemRow wi;
+          if (!LoadRow(value, &wi)) return true;
+          LastTradeRow lt;
+          if (ReadRowByKey(txn, ctx.t->last_trade_pk, LastTradeKey(wi.wi_s_id),
+                           &lt)
+                  .ok()) {
+            new_mkt_cap += lt.lt_price;
+          }
+          DailyMarketRow dm;
+          if (ReadRowByKey(txn, ctx.t->daily_market_pk,
+                           DailyMarketKey(wi.wi_s_id, 1), &dm)
+                  .ok()) {
+            old_mkt_cap += dm.dm_close;
+          }
+          return true;
+        });
+    ERMIA_RETURN_NOT_OK(s);
+  } else if (wl.IsNotFound()) {
+    const uint32_t S = ctx.cfg->num_securities();
+    const uint32_t span = std::min<uint32_t>(S, 100);
+    const uint32_t from =
+        static_cast<uint32_t>(ctx.rng->UniformU64(1, S - span + 1));
+    ERMIA_RETURN_NOT_OK(txn.Scan(
+        ctx.t->last_trade_pk, LastTradeKey(from).slice(),
+        LastTradeKey(from + span - 1).slice(), -1,
+        [&](const Slice&, const Slice& value) {
+          LastTradeRow lt;
+          if (LoadRow(value, &lt)) new_mkt_cap += lt.lt_price;
+          return true;
+        }));
+  } else {
+    return wl;
+  }
+  (void)new_mkt_cap;
+  (void)old_mkt_cap;
+  return txn.Commit();
+}
+
+// SecurityDetail (read-only): security + issuing company + listing exchange
+// + last trade + the daily price history (TPC-E 3.3.8's footprint shape).
+Status TxnSecurityDetail(TpceCtx& ctx) {
+  Transaction txn(ctx.db, ctx.scheme, /*read_only=*/true);
+  const uint32_t s = static_cast<uint32_t>(
+      ctx.rng->UniformU64(1, ctx.cfg->num_securities()));
+  SecurityRow sr;
+  ERMIA_RETURN_NOT_OK(ReadRowByKey(txn, ctx.t->security_pk, SecurityKey(s), &sr));
+  CompanyRow co;
+  ERMIA_RETURN_NOT_OK(
+      ReadRowByKey(txn, ctx.t->company_pk, CompanyKey(sr.s_co_id), &co));
+  ExchangeRow ex;
+  ERMIA_RETURN_NOT_OK(
+      ReadRowByKey(txn, ctx.t->exchange_pk, ExchangeKey(sr.s_ex_id), &ex));
+  LastTradeRow lt;
+  ERMIA_RETURN_NOT_OK(
+      ReadRowByKey(txn, ctx.t->last_trade_pk, LastTradeKey(s), &lt));
+  double vol_sum = 0;
+  ERMIA_RETURN_NOT_OK(txn.Scan(
+      ctx.t->daily_market_pk, DailyMarketKey(s, 0).slice(),
+      DailyMarketKey(s, UINT32_MAX).slice(), -1,
+      [&](const Slice&, const Slice& value) {
+        DailyMarketRow dm;
+        if (LoadRow(value, &dm)) vol_sum += static_cast<double>(dm.dm_vol);
+        return true;
+      }));
+  (void)vol_sum;
+  return txn.Commit();
+}
+
+// TradeLookup (read-only): a batch of historical trades + their history.
+Status TxnTradeLookup(TpceCtx& ctx) {
+  Transaction txn(ctx.db, ctx.scheme, /*read_only=*/true);
+  const uint64_t latest = ctx.next_trade_id->load(std::memory_order_relaxed);
+  if (latest <= 1) return txn.Commit();
+  for (uint32_t k = 0; k < 20; ++k) {
+    const uint64_t t_id = ctx.rng->UniformU64(1, latest - 1);
+    TradeRow tr;
+    Status s = ReadRowByKey(txn, ctx.t->trade_pk, TradeKey(t_id), &tr);
+    if (s.IsNotFound()) continue;
+    ERMIA_RETURN_NOT_OK(s);
+    Slice raw;
+    Status hs = txn.Get(ctx.t->trade_history_pk,
+                        TradeHistoryKey(t_id, 0).slice(), &raw);
+    if (!hs.ok() && !hs.IsNotFound()) return hs;
+  }
+  return txn.Commit();
+}
+
+// TradeOrder (read-write): submit a new (pending) trade.
+Status TxnTradeOrder(TpceCtx& ctx) {
+  Transaction txn(ctx.db, ctx.scheme);
+  const uint32_t ca = static_cast<uint32_t>(
+      ctx.rng->UniformU64(1, ctx.cfg->num_accounts()));
+  const uint32_t s = static_cast<uint32_t>(
+      ctx.rng->UniformU64(1, ctx.cfg->num_securities()));
+
+  AccountRow ar;
+  ERMIA_RETURN_NOT_OK(ReadRowByKey(txn, ctx.t->account_pk, AccountKey(ca), &ar));
+  CustomerRow cr;
+  ERMIA_RETURN_NOT_OK(
+      ReadRowByKey(txn, ctx.t->customer_pk, CustomerKey(ar.ca_c_id), &cr));
+  TradeTypeRow tt;
+  ERMIA_RETURN_NOT_OK(ReadRowByKey(
+      txn, ctx.t->trade_type_pk,
+      TradeTypeKey(static_cast<uint32_t>(
+          ctx.rng->UniformU64(1, ctx.cfg->num_trade_types()))),
+      &tt));
+  SecurityRow sec;
+  ERMIA_RETURN_NOT_OK(ReadRowByKey(txn, ctx.t->security_pk, SecurityKey(s), &sec));
+  LastTradeRow lt;
+  ERMIA_RETURN_NOT_OK(
+      ReadRowByKey(txn, ctx.t->last_trade_pk, LastTradeKey(s), &lt));
+  BrokerRow br;
+  Oid b_oid = 0;
+  ERMIA_RETURN_NOT_OK(
+      ReadRowByKey(txn, ctx.t->broker_pk, BrokerKey(ar.ca_b_id), &br, &b_oid));
+  br.b_num_trades++;
+  br.b_comm_total += lt.lt_price * 0.001;
+  ERMIA_RETURN_NOT_OK(txn.Update(ctx.t->broker, b_oid, RowSlice(br)));
+
+  const uint64_t t_id =
+      ctx.next_trade_id->fetch_add(1, std::memory_order_relaxed);
+  TradeRow tr{};
+  tr.t_ca_id = ca;
+  tr.t_s_id = s;
+  tr.t_qty = static_cast<int32_t>(ctx.rng->UniformU64(100, 800));
+  tr.t_price = lt.lt_price;
+  tr.t_status = kTradePending;
+  tr.t_is_buy = static_cast<int32_t>(ctx.rng->UniformU64(0, 1));
+  tr.t_dts = t_id;
+  Oid t_oid = 0;
+  ERMIA_RETURN_NOT_OK(txn.Insert(ctx.t->trade, ctx.t->trade_pk,
+                                 TradeKey(t_id).slice(), RowSlice(tr), &t_oid));
+  ERMIA_RETURN_NOT_OK(txn.InsertIndexEntry(
+      ctx.t->trade_by_acct, TradeByAcctKey(ca, t_id).slice(), t_oid));
+  TradeHistoryRow th{};
+  th.th_status = kTradePending;
+  th.th_dts = t_id;
+  ERMIA_RETURN_NOT_OK(txn.Insert(ctx.t->trade_history, ctx.t->trade_history_pk,
+                                 TradeHistoryKey(t_id, 0).slice(),
+                                 RowSlice(th), nullptr));
+  return txn.Commit();
+}
+
+// TradeResult (read-write): settle a recent pending trade — updates the
+// trade, the account balance, and the account's holding summary/holdings.
+// This is the writer that contends with AssetEval.
+Status TxnTradeResult(TpceCtx& ctx) {
+  Transaction txn(ctx.db, ctx.scheme);
+  const uint64_t latest = ctx.next_trade_id->load(std::memory_order_relaxed);
+  if (latest <= 1) return txn.Commit();
+  const uint64_t window = std::min<uint64_t>(latest - 1, 512);
+  const uint64_t t_id = ctx.rng->UniformU64(latest - window, latest - 1);
+
+  TradeRow tr;
+  Oid t_oid = 0;
+  Status s = ReadRowByKey(txn, ctx.t->trade_pk, TradeKey(t_id), &tr, &t_oid);
+  if (s.IsNotFound()) return txn.Commit();  // not yet visible
+  ERMIA_RETURN_NOT_OK(s);
+  if (tr.t_status != kTradePending) return txn.Commit();  // already settled
+
+  tr.t_status = kTradeCompleted;
+  ERMIA_RETURN_NOT_OK(txn.Update(ctx.t->trade, t_oid, RowSlice(tr)));
+
+  const uint32_t ca = tr.t_ca_id;
+  const uint32_t sec = tr.t_s_id;
+  const int64_t delta =
+      tr.t_is_buy ? tr.t_qty : -static_cast<int64_t>(tr.t_qty);
+
+  // Holding summary upsert.
+  Slice hs_raw;
+  Status hs_got =
+      txn.Get(ctx.t->holding_summary_pk, HoldingSummaryKey(ca, sec).slice(),
+              &hs_raw);
+  if (hs_got.ok()) {
+    HoldingSummaryRow hs;
+    if (!LoadRow(hs_raw, &hs)) return Status::Corruption("holding summary");
+    hs.hs_qty += delta;
+    Oid hs_oid = 0;
+    ERMIA_RETURN_NOT_OK(txn.GetOid(ctx.t->holding_summary_pk,
+                                   HoldingSummaryKey(ca, sec).slice(),
+                                   &hs_oid));
+    ERMIA_RETURN_NOT_OK(
+        txn.Update(ctx.t->holding_summary, hs_oid, RowSlice(hs)));
+  } else if (hs_got.IsNotFound()) {
+    HoldingSummaryRow hs{};
+    hs.hs_qty = delta;
+    ERMIA_RETURN_NOT_OK(txn.Insert(ctx.t->holding_summary,
+                                   ctx.t->holding_summary_pk,
+                                   HoldingSummaryKey(ca, sec).slice(),
+                                   RowSlice(hs), nullptr));
+  } else {
+    return hs_got;
+  }
+
+  if (tr.t_is_buy) {
+    HoldingRow hr{};
+    hr.h_qty = tr.t_qty;
+    hr.h_price = tr.t_price;
+    ERMIA_RETURN_NOT_OK(txn.Insert(ctx.t->holding, ctx.t->holding_pk,
+                                   HoldingKey(ca, sec, t_id).slice(),
+                                   RowSlice(hr), nullptr));
+  }
+
+  AccountRow ar;
+  Oid a_oid = 0;
+  ERMIA_RETURN_NOT_OK(
+      ReadRowByKey(txn, ctx.t->account_pk, AccountKey(ca), &ar, &a_oid));
+  ar.ca_bal += (tr.t_is_buy ? -1.0 : 1.0) * tr.t_price * tr.t_qty;
+  ERMIA_RETURN_NOT_OK(txn.Update(ctx.t->account, a_oid, RowSlice(ar)));
+
+  TradeHistoryRow th{};
+  th.th_status = kTradeCompleted;
+  th.th_dts = t_id;
+  ERMIA_RETURN_NOT_OK(txn.Insert(ctx.t->trade_history, ctx.t->trade_history_pk,
+                                 TradeHistoryKey(t_id, 1).slice(),
+                                 RowSlice(th), nullptr));
+  return txn.Commit();
+}
+
+// TradeStatus (read-only): recent trades of one account.
+Status TxnTradeStatus(TpceCtx& ctx) {
+  Transaction txn(ctx.db, ctx.scheme, /*read_only=*/true);
+  const uint32_t ca = static_cast<uint32_t>(
+      ctx.rng->UniformU64(1, ctx.cfg->num_accounts()));
+  int n = 0;
+  Status s = txn.Scan(
+      ctx.t->trade_by_acct, TradeByAcctKey(ca, 0).slice(),
+      TradeByAcctKey(ca, UINT64_MAX).slice(), 50,
+      [&](const Slice&, const Slice&) {
+        ++n;
+        return true;
+      },
+      /*reverse=*/true);
+  ERMIA_RETURN_NOT_OK(s);
+  (void)n;
+  return txn.Commit();
+}
+
+// TradeUpdate (read-write): annotate a batch of historical trades.
+Status TxnTradeUpdate(TpceCtx& ctx) {
+  Transaction txn(ctx.db, ctx.scheme);
+  const uint64_t latest = ctx.next_trade_id->load(std::memory_order_relaxed);
+  if (latest <= 1) return txn.Commit();
+  for (uint32_t k = 0; k < 10; ++k) {
+    const uint64_t t_id = ctx.rng->UniformU64(1, latest - 1);
+    TradeRow tr;
+    Oid t_oid = 0;
+    Status s = ReadRowByKey(txn, ctx.t->trade_pk, TradeKey(t_id), &tr, &t_oid);
+    if (s.IsNotFound()) continue;
+    ERMIA_RETURN_NOT_OK(s);
+    tr.t_dts++;
+    ERMIA_RETURN_NOT_OK(txn.Update(ctx.t->trade, t_oid, RowSlice(tr)));
+  }
+  return txn.Commit();
+}
+
+// AssetEval (paper §4.2, TPC-E-hybrid): aggregate assets of a random group of
+// customer accounts (HoldingSummary ⋈ LastTrade) and insert the result into
+// AssetHistory. `size_fraction` controls the group size — the x-axis of
+// Fig. 6.
+Status TxnAssetEval(TpceCtx& ctx, double size_fraction) {
+  Transaction txn(ctx.db, ctx.scheme);
+  const uint32_t A = ctx.cfg->num_accounts();
+  const uint32_t group = std::max<uint32_t>(
+      1, static_cast<uint32_t>(size_fraction * static_cast<double>(A)));
+  const uint32_t from =
+      static_cast<uint32_t>(ctx.rng->UniformU64(1, A - group + 1));
+
+  double total_assets = 0;
+  for (uint32_t ca = from; ca < from + group; ++ca) {
+    AccountRow ar;
+    Status s = ReadRowByKey(txn, ctx.t->account_pk, AccountKey(ca), &ar);
+    if (s.IsNotFound()) continue;
+    ERMIA_RETURN_NOT_OK(s);
+    double assets = ar.ca_bal;
+    Status hs_status = txn.Scan(
+        ctx.t->holding_summary_pk, HoldingSummaryKey(ca, 0).slice(),
+        HoldingSummaryKey(ca, UINT32_MAX).slice(), -1,
+        [&](const Slice& key, const Slice& value) {
+          HoldingSummaryRow hs;
+          if (!LoadRow(value, &hs)) return true;
+          KeyDecoder dec(key);
+          dec.U32();
+          const uint32_t s_id = dec.U32();
+          LastTradeRow lt;
+          if (ReadRowByKey(txn, ctx.t->last_trade_pk, LastTradeKey(s_id), &lt)
+                  .ok()) {
+            assets += static_cast<double>(hs.hs_qty) * lt.lt_price;
+          }
+          return true;
+        });
+    ERMIA_RETURN_NOT_OK(hs_status);
+    total_assets += assets;
+  }
+
+  AssetHistoryRow ah{};
+  ah.ah_ca_id = from;
+  ah.ah_assets = total_assets;
+  ah.ah_dts = 0;
+  const uint64_t seq =
+      ctx.asset_hist_seq->fetch_add(1, std::memory_order_relaxed);
+  ERMIA_RETURN_NOT_OK(txn.Insert(ctx.t->asset_history,
+                                 ctx.t->asset_history_pk,
+                                 AssetHistoryKey(ctx.worker + 1, seq).slice(),
+                                 RowSlice(ah), nullptr));
+  return txn.Commit();
+}
+
+}  // namespace tpce
+}  // namespace ermia

@@ -1,0 +1,77 @@
+#include "workloads/tpce/tpce_workload.h"
+
+namespace ermia {
+namespace tpce {
+
+namespace {
+
+// Paper §4.2: the TPC-E-hybrid mix. The plain TPC-E mix renormalizes the
+// same proportions without AssetEval.
+constexpr double kHybridMix[11] = {0.049, 0.08, 0.01, 0.13, 0.14, 0.08,
+                                   0.101, 0.10, 0.09, 0.02, 0.20};
+
+const char* kNames[11] = {"BrokerVolume", "CustomerPosition", "MarketFeed",
+                          "MarketWatch",  "SecurityDetail",   "TradeLookup",
+                          "TradeOrder",   "TradeResult",      "TradeStatus",
+                          "TradeUpdate",  "AssetEval"};
+
+}  // namespace
+
+Status TpceWorkload::Load(Database* db) {
+  tables_ = CreateTpceSchema(db);
+  uint64_t loaded = 0;
+  ERMIA_RETURN_NOT_OK(LoadTpce(db, tables_, cfg_, &loaded));
+  next_trade_id_.store(loaded + 1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+const char* TpceWorkload::TxnTypeName(size_t type) const {
+  return kNames[type];
+}
+
+size_t TpceWorkload::PickTxnType(FastRandom& rng) const {
+  const size_t n = NumTxnTypes();
+  double total = 0;
+  for (size_t i = 0; i < n; ++i) total += kHybridMix[i];
+  double x = rng.NextDouble() * total;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (x < kHybridMix[i]) return i;
+    x -= kHybridMix[i];
+  }
+  return n - 1;
+}
+
+Status TpceWorkload::RunTxn(Database* db, CcScheme scheme, size_t type,
+                            uint32_t worker_id, uint32_t /*num_workers*/,
+                            FastRandom& rng) {
+  TpceCtx ctx{db,   &tables_, &cfg_,           scheme,
+              worker_id, &rng, &next_trade_id_, &asset_hist_seq_};
+  switch (static_cast<TpceTxnType>(type)) {
+    case TpceTxnType::kBrokerVolume:
+      return TxnBrokerVolume(ctx);
+    case TpceTxnType::kCustomerPosition:
+      return TxnCustomerPosition(ctx);
+    case TpceTxnType::kMarketFeed:
+      return TxnMarketFeed(ctx);
+    case TpceTxnType::kMarketWatch:
+      return TxnMarketWatch(ctx);
+    case TpceTxnType::kSecurityDetail:
+      return TxnSecurityDetail(ctx);
+    case TpceTxnType::kTradeLookup:
+      return TxnTradeLookup(ctx);
+    case TpceTxnType::kTradeOrder:
+      return TxnTradeOrder(ctx);
+    case TpceTxnType::kTradeResult:
+      return TxnTradeResult(ctx);
+    case TpceTxnType::kTradeStatus:
+      return TxnTradeStatus(ctx);
+    case TpceTxnType::kTradeUpdate:
+      return TxnTradeUpdate(ctx);
+    case TpceTxnType::kAssetEval:
+      return TxnAssetEval(ctx, opts_.asset_eval_size);
+  }
+  return Status::InvalidArgument("unknown tpce txn type");
+}
+
+}  // namespace tpce
+}  // namespace ermia

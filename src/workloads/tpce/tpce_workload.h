@@ -1,0 +1,91 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// TPC-E and TPC-E-hybrid workloads (paper §4.2). The hybrid mix adds
+// AssetEval — a read-mostly transaction that aggregates the assets of a group
+// of customer accounts (HoldingSummary ⋈ LastTrade) and records the result in
+// AssetHistory. Mix (paper): BrokerVolume 4.9%, CustomerPosition 8%,
+// MarketFeed 1%, MarketWatch 13%, SecurityDetail 14%, TradeLookup 8%,
+// TradeOrder 10.1%, TradeResult 10%, TradeStatus 9%, TradeUpdate 2%,
+// AssetEval 20%.
+#ifndef ERMIA_WORKLOADS_TPCE_TPCE_WORKLOAD_H_
+#define ERMIA_WORKLOADS_TPCE_TPCE_WORKLOAD_H_
+
+#include <atomic>
+
+#include "bench/driver.h"
+#include "workloads/tpce/tpce_schema.h"
+
+namespace ermia {
+namespace tpce {
+
+enum class TpceTxnType : size_t {
+  kBrokerVolume = 0,
+  kCustomerPosition = 1,
+  kMarketFeed = 2,
+  kMarketWatch = 3,
+  kSecurityDetail = 4,
+  kTradeLookup = 5,
+  kTradeOrder = 6,
+  kTradeResult = 7,
+  kTradeStatus = 8,
+  kTradeUpdate = 9,
+  kAssetEval = 10,
+};
+
+struct TpceRunOptions {
+  bool hybrid = false;          // include AssetEval
+  double asset_eval_size = 0.1; // fraction of the account range scanned
+};
+
+struct TpceCtx {
+  Database* db;
+  const TpceTables* t;
+  const TpceConfig* cfg;
+  CcScheme scheme;
+  uint32_t worker;
+  FastRandom* rng;
+  std::atomic<uint64_t>* next_trade_id;   // shared trade id allocator
+  std::atomic<uint64_t>* asset_hist_seq;  // AssetHistory key sequence
+};
+
+Status LoadTpce(Database* db, const TpceTables& t, const TpceConfig& cfg,
+                uint64_t* loaded_trades);
+
+Status TxnBrokerVolume(TpceCtx& ctx);
+Status TxnCustomerPosition(TpceCtx& ctx);
+Status TxnMarketFeed(TpceCtx& ctx);
+Status TxnMarketWatch(TpceCtx& ctx);
+Status TxnSecurityDetail(TpceCtx& ctx);
+Status TxnTradeLookup(TpceCtx& ctx);
+Status TxnTradeOrder(TpceCtx& ctx);
+Status TxnTradeResult(TpceCtx& ctx);
+Status TxnTradeStatus(TpceCtx& ctx);
+Status TxnTradeUpdate(TpceCtx& ctx);
+Status TxnAssetEval(TpceCtx& ctx, double size_fraction);
+
+class TpceWorkload : public bench::Workload {
+ public:
+  TpceWorkload(TpceConfig cfg, TpceRunOptions opts) : cfg_(cfg), opts_(opts) {}
+
+  Status Load(Database* db) override;
+  size_t NumTxnTypes() const override { return opts_.hybrid ? 11 : 10; }
+  const char* TxnTypeName(size_t type) const override;
+  size_t PickTxnType(FastRandom& rng) const override;
+  Status RunTxn(Database* db, CcScheme scheme, size_t type, uint32_t worker_id,
+                uint32_t num_workers, FastRandom& rng) override;
+
+  const TpceTables& tables() const { return tables_; }
+  const TpceConfig& config() const { return cfg_; }
+
+ private:
+  TpceConfig cfg_;
+  TpceRunOptions opts_;
+  TpceTables tables_;
+  std::atomic<uint64_t> next_trade_id_{1};
+  std::atomic<uint64_t> asset_hist_seq_{0};
+};
+
+}  // namespace tpce
+}  // namespace ermia
+
+#endif  // ERMIA_WORKLOADS_TPCE_TPCE_WORKLOAD_H_

@@ -1,0 +1,188 @@
+// Heavy concurrent stress on the OLC B+-tree: mixed insert/remove/lookup
+// against a sharded oracle, scans racing structural changes, split storms on
+// sequential and random key patterns, and phantom-hook coherence (every
+// mutation of a leaf bumps its version).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/key_encoder.h"
+#include "common/random.h"
+#include "index/btree.h"
+
+namespace ermia {
+namespace {
+
+std::string K(uint64_t v) { return KeyEncoder().U64(v).slice().ToString(); }
+
+// Each key is owned by (key % kThreads), so per-thread oracles stay exact
+// without cross-thread coordination.
+TEST(BTreeStressTest, ShardedMixedOpsMatchOracle) {
+  BTree tree;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kSpace = 4000;
+  constexpr int kOpsPerThread = 30000;
+  std::vector<std::map<uint64_t, Oid>> oracles(kThreads);
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> mismatches{0};
+
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      FastRandom rng(t + 71);
+      auto& oracle = oracles[t];
+      NodeHandle nh;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t key =
+            rng.UniformU64(0, kSpace / kThreads - 1) * kThreads +
+            static_cast<uint64_t>(t);
+        switch (rng.UniformU64(0, 2)) {
+          case 0: {  // insert
+            const Oid oid = static_cast<Oid>(rng.UniformU64(1, 1u << 30));
+            Status s = tree.Insert(K(key), oid, &nh, nullptr);
+            auto [it, inserted] = oracle.emplace(key, oid);
+            if (s.ok() != inserted) mismatches.fetch_add(1);
+            break;
+          }
+          case 1: {  // remove
+            Status s = tree.Remove(K(key));
+            if (s.ok() != (oracle.erase(key) > 0)) mismatches.fetch_add(1);
+            break;
+          }
+          default: {  // lookup
+            Oid oid = 0;
+            const bool found = tree.Lookup(K(key), &oid, &nh);
+            auto it = oracle.find(key);
+            if (found != (it != oracle.end())) {
+              mismatches.fetch_add(1);
+            } else if (found && oid != it->second) {
+              mismatches.fetch_add(1);
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  size_t expected = 0;
+  for (auto& o : oracles) expected += o.size();
+  EXPECT_EQ(tree.Size(), expected);
+}
+
+TEST(BTreeStressTest, ScansNeverSeeTornStateDuringSplits) {
+  BTree tree;
+  NodeHandle nh;
+  // Pre-load only even keys; writers add odd keys (forcing splits), and the
+  // scanning thread asserts even keys are always all present and in order.
+  constexpr uint64_t kEven = 3000;
+  for (uint64_t i = 0; i < kEven; ++i) {
+    ASSERT_TRUE(tree.Insert(K(i * 2), static_cast<Oid>(i + 1), &nh, nullptr).ok());
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> violations{0};
+  std::thread scanner([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      uint64_t prev = UINT64_MAX;
+      uint64_t even_seen = 0;
+      tree.Scan(
+          Slice(), Slice(),
+          [&](const Slice& key, Oid) {
+            const uint64_t v = KeyDecoder(key).U64();
+            if (prev != UINT64_MAX && v <= prev) violations.fetch_add(1);
+            prev = v;
+            if (v % 2 == 0) ++even_seen;
+            return true;
+          },
+          nullptr);
+      if (even_seen != kEven) violations.fetch_add(1);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&, t] {
+      NodeHandle h;
+      for (uint64_t i = static_cast<uint64_t>(t); i < 6000; i += 2) {
+        tree.Insert(K(i * 2 + 1), static_cast<Oid>(i + 1), &h, nullptr);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  scanner.join();
+  EXPECT_EQ(violations.load(), 0u);
+}
+
+TEST(BTreeStressTest, SequentialInsertSplitStorm) {
+  // Monotonic keys hammer the rightmost path: every leaf fills and splits.
+  BTree tree;
+  NodeHandle nh;
+  constexpr uint64_t kN = 100000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(tree.Insert(K(i), static_cast<Oid>(i + 1), &nh, nullptr).ok());
+  }
+  EXPECT_EQ(tree.Size(), kN);
+  // Spot-check order and completeness at the boundaries.
+  Oid oid = 0;
+  EXPECT_TRUE(tree.Lookup(K(0), &oid, &nh));
+  EXPECT_TRUE(tree.Lookup(K(kN - 1), &oid, &nh));
+  EXPECT_FALSE(tree.Lookup(K(kN), &oid, &nh));
+}
+
+TEST(BTreeStressTest, RemoveHeavyThenReinsert) {
+  BTree tree;
+  NodeHandle nh;
+  constexpr uint64_t kN = 20000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(tree.Insert(K(i), static_cast<Oid>(i + 1), &nh, nullptr).ok());
+  }
+  // Remove every other key (no merging: leaves go half-empty).
+  for (uint64_t i = 0; i < kN; i += 2) {
+    ASSERT_TRUE(tree.Remove(K(i)).ok());
+  }
+  EXPECT_EQ(tree.Size(), kN / 2);
+  // Scans still deliver exactly the surviving keys, in order.
+  uint64_t expect = 1;
+  size_t n = 0;
+  tree.Scan(
+      Slice(), Slice(),
+      [&](const Slice& key, Oid) {
+        EXPECT_EQ(KeyDecoder(key).U64(), expect);
+        expect += 2;
+        ++n;
+        return true;
+      },
+      nullptr);
+  EXPECT_EQ(n, kN / 2);
+  // Reinsert into the holes.
+  for (uint64_t i = 0; i < kN; i += 2) {
+    ASSERT_TRUE(tree.Insert(K(i), static_cast<Oid>(i + 7), &nh, nullptr).ok());
+  }
+  EXPECT_EQ(tree.Size(), kN);
+}
+
+TEST(BTreeStressTest, LeafVersionBumpsOnEveryMutation) {
+  BTree tree;
+  NodeHandle nh;
+  ASSERT_TRUE(tree.Insert("probe", 1, &nh, nullptr).ok());
+  uint64_t last = BTree::StableVersion(nh.node);
+  // Insertions into the same leaf must each advance the version.
+  for (int i = 0; i < 8; ++i) {
+    NodeHandle h;
+    ASSERT_TRUE(
+        tree.Insert("probe" + std::to_string(i), 2, &h, nullptr).ok());
+    if (h.node == nh.node) {
+      EXPECT_GT(h.version, last);
+      last = h.version;
+    }
+  }
+  ASSERT_TRUE(tree.Remove("probe").ok());
+  EXPECT_GT(BTree::StableVersion(nh.node), last);
+}
+
+}  // namespace
+}  // namespace ermia

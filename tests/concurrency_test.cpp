@@ -1,0 +1,330 @@
+// Cross-scheme concurrent invariants, parameterized over all CC schemes:
+// the constant bank-sum property (no lost updates, consistent snapshots),
+// unique-key races, counter exactness, and mixed reader/writer stress with
+// garbage collection running.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/key_encoder.h"
+#include "common/random.h"
+#include "test_util.h"
+
+namespace ermia {
+namespace {
+
+class ConcurrencyTest : public ::testing::TestWithParam<CcScheme> {
+ protected:
+  void SetUp() override {
+    EngineConfig config;
+    config.gc_interval_ms = 5;  // aggressive GC during the tests
+    db_ = std::make_unique<testing::TempDb>(config);
+    ASSERT_TRUE((*db_)->Open().ok());
+    table_ = (*db_)->CreateTable("t");
+    pk_ = (*db_)->CreateIndex(table_, "t_pk");
+  }
+
+  CcScheme scheme() const { return GetParam(); }
+  Database* db() { return db_->get(); }
+
+  static Varstr Key(uint64_t i) { return KeyEncoder().U64(i).varstr(); }
+
+  static int64_t DecodeI64(const Slice& v) {
+    int64_t out = 0;
+    EXPECT_EQ(v.size(), sizeof out);
+    std::memcpy(&out, v.data(), sizeof out);
+    return out;
+  }
+  static std::string EncodeI64(int64_t v) {
+    return std::string(reinterpret_cast<const char*>(&v), sizeof v);
+  }
+
+  std::unique_ptr<testing::TempDb> db_;
+  Table* table_ = nullptr;
+  Index* pk_ = nullptr;
+};
+
+// N accounts initialized with 100 each; workers transfer random amounts
+// between random pairs. Whatever interleaving happens, every consistent
+// snapshot must total N*100 and the final state must too.
+TEST_P(ConcurrencyTest, BankSumInvariant) {
+  constexpr int kAccounts = 10;
+  constexpr int64_t kInitial = 100;
+  constexpr int kThreads = 4;
+  constexpr int kTransfersPerThread = 500;
+
+  std::vector<Oid> oids(kAccounts);
+  {
+    Transaction txn(db(), scheme());
+    for (int i = 0; i < kAccounts; ++i) {
+      ASSERT_TRUE(txn.Insert(table_, pk_, Key(i).slice(), EncodeI64(kInitial),
+                             &oids[i])
+                      .ok());
+    }
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> snapshot_violations{0};
+  std::atomic<uint64_t> committed_transfers{0};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      FastRandom rng(t + 100);
+      for (int i = 0; i < kTransfersPerThread; ++i) {
+        const int from = static_cast<int>(rng.UniformU64(0, kAccounts - 1));
+        int to = static_cast<int>(rng.UniformU64(0, kAccounts - 1));
+        if (to == from) to = (to + 1) % kAccounts;
+        const int64_t amount = static_cast<int64_t>(rng.UniformU64(1, 10));
+        Transaction txn(db(), scheme());
+        Slice fv, tv;
+        if (!txn.Read(table_, oids[from], &fv).ok()) continue;
+        if (!txn.Read(table_, oids[to], &tv).ok()) continue;
+        const int64_t fb = DecodeI64(fv), tb = DecodeI64(tv);
+        if (!txn.Update(table_, oids[from], EncodeI64(fb - amount)).ok()) {
+          continue;
+        }
+        if (!txn.Update(table_, oids[to], EncodeI64(tb + amount)).ok()) {
+          continue;
+        }
+        if (txn.Commit().ok()) committed_transfers.fetch_add(1);
+      }
+      ThreadRegistry::Deregister();
+    });
+  }
+  // An auditor continuously checks snapshot consistency (SI/SSN give a
+  // consistent snapshot; OCC read-only transactions read the snapshot LSN).
+  std::thread auditor([&] {
+    while (!stop.load()) {
+      Transaction txn(db(), scheme(), /*read_only=*/true);
+      int64_t sum = 0;
+      bool ok = true;
+      for (int i = 0; i < kAccounts && ok; ++i) {
+        Slice v;
+        ok = txn.Read(table_, oids[i], &v).ok();
+        if (ok) sum += DecodeI64(v);
+      }
+      if (ok && txn.Commit().ok() && sum != kAccounts * kInitial) {
+        snapshot_violations.fetch_add(1);
+      }
+      if (!ok) txn.Abort();
+    }
+    ThreadRegistry::Deregister();
+  });
+  for (auto& w : workers) w.join();
+  stop.store(true);
+  auditor.join();
+
+  EXPECT_EQ(snapshot_violations.load(), 0u);
+  EXPECT_GT(committed_transfers.load(), 0u);
+
+  Transaction txn(db(), scheme());
+  int64_t total = 0;
+  for (int i = 0; i < kAccounts; ++i) {
+    Slice v;
+    ASSERT_TRUE(txn.Read(table_, oids[i], &v).ok());
+    total += DecodeI64(v);
+  }
+  EXPECT_EQ(total, kAccounts * kInitial);
+  EXPECT_TRUE(txn.Commit().ok());
+}
+
+// A single counter incremented concurrently: the final value must equal the
+// number of successful commits (no lost updates under any scheme).
+TEST_P(ConcurrencyTest, NoLostUpdatesOnCounter) {
+  Oid counter = 0;
+  {
+    Transaction txn(db(), scheme());
+    ASSERT_TRUE(
+        txn.Insert(table_, pk_, "counter", EncodeI64(0), &counter).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  constexpr int kThreads = 4;
+  constexpr int kAttempts = 400;
+  std::atomic<int64_t> commits{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kAttempts; ++i) {
+        Transaction txn(db(), scheme());
+        Slice v;
+        if (!txn.Read(table_, counter, &v).ok()) continue;
+        const int64_t cur = DecodeI64(v);
+        if (!txn.Update(table_, counter, EncodeI64(cur + 1)).ok()) continue;
+        if (txn.Commit().ok()) commits.fetch_add(1);
+      }
+      ThreadRegistry::Deregister();
+    });
+  }
+  for (auto& w : workers) w.join();
+  Transaction txn(db(), scheme());
+  Slice v;
+  ASSERT_TRUE(txn.Read(table_, counter, &v).ok());
+  EXPECT_EQ(DecodeI64(v), commits.load());
+  EXPECT_GT(commits.load(), 0);
+  EXPECT_TRUE(txn.Commit().ok());
+}
+
+// Concurrent inserts of the same key: exactly one winner per key.
+TEST_P(ConcurrencyTest, UniqueKeyRaceHasOneWinner) {
+  constexpr int kKeys = 50;
+  constexpr int kThreads = 4;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int k = 0; k < kKeys; ++k) {
+        // Retry until this key is durably present: either we won the insert
+        // race or we observe the winner. (A commit can fail spuriously under
+        // OCC/SSN when a racing insert lands on the same leaf.)
+        for (int attempt = 0; attempt < 1000; ++attempt) {
+          Transaction txn(db(), scheme());
+          Slice v;
+          if (txn.Get(pk_, Key(k).slice(), &v).ok()) {
+            txn.Commit();
+            break;
+          }
+          Oid oid = 0;
+          Status s =
+              txn.Insert(table_, pk_, Key(k).slice(), std::to_string(t), &oid);
+          if (s.ok() && txn.Commit().ok()) {
+            winners.fetch_add(1);
+            break;
+          }
+          if (!txn.finished()) txn.Abort();
+        }
+      }
+      ThreadRegistry::Deregister();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(winners.load(), kKeys);
+  Transaction txn(db(), scheme());
+  int present = 0;
+  for (int k = 0; k < kKeys; ++k) {
+    Slice v;
+    if (txn.Get(pk_, Key(k).slice(), &v).ok()) ++present;
+  }
+  EXPECT_EQ(present, kKeys);
+  EXPECT_TRUE(txn.Commit().ok());
+}
+
+// Long version chains + aggressive GC: scanning readers see a consistent
+// count while updaters churn a hot set.
+TEST_P(ConcurrencyTest, GcDoesNotDisturbReaders) {
+  constexpr int kRecords = 40;
+  std::vector<Oid> oids(kRecords);
+  {
+    Transaction txn(db(), scheme());
+    for (int i = 0; i < kRecords; ++i) {
+      ASSERT_TRUE(
+          txn.Insert(table_, pk_, Key(i).slice(), "payload", &oids[i]).ok());
+    }
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  // OCC read-only transactions read the snapshot LSN; make sure it already
+  // covers the load (stale-but-consistent is correct OCC behavior, but the
+  // assertion below wants all records visible).
+  db()->RefreshOccSnapshot();
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> bad_counts{0};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      Transaction txn(db(), scheme(), /*read_only=*/true);
+      int n = 0;
+      Status s = txn.Scan(pk_, Key(0).slice(), Key(kRecords - 1).slice(), -1,
+                          [&](const Slice&, const Slice&) {
+                            ++n;
+                            return true;
+                          });
+      if (s.ok() && txn.Commit().ok() && n != kRecords) bad_counts.fetch_add(1);
+      if (!s.ok()) txn.Abort();
+    }
+    ThreadRegistry::Deregister();
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&, t] {
+      FastRandom rng(t + 7);
+      for (int i = 0; i < 1500; ++i) {
+        Transaction txn(db(), scheme());
+        const int rec = static_cast<int>(rng.UniformU64(0, kRecords - 1));
+        if (txn.Update(table_, oids[rec], "updated-" + std::to_string(i)).ok()) {
+          txn.Commit();
+        }
+      }
+      ThreadRegistry::Deregister();
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(bad_counts.load(), 0u);
+  // GC must have reclaimed something from the churned chains.
+  db()->gc().RunOnce();
+}
+
+// SI, SSN, and OCC transactions running concurrently against the same
+// records: the schemes interoperate through the shared version-as-write-lock
+// protocol, so lost updates stay impossible and the bank sum holds even in a
+// mixed fleet. (2PL is excluded: its guarantees assume all writers lock.)
+TEST_F(ConcurrencyTest, MixedSchemesPreserveBankSum) {
+  // Plain TEST_F-style body inside the fixture: use SI for setup.
+  constexpr int kAccounts = 8;
+  constexpr int64_t kInitial = 100;
+  std::vector<Oid> oids(kAccounts);
+  {
+    Transaction txn(db(), CcScheme::kSi);
+    for (int i = 0; i < kAccounts; ++i) {
+      ASSERT_TRUE(txn.Insert(table_, pk_, Key(i).slice(), EncodeI64(kInitial),
+                             &oids[i])
+                      .ok());
+    }
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  const CcScheme fleet[3] = {CcScheme::kSi, CcScheme::kSiSsn, CcScheme::kOcc};
+  std::atomic<uint64_t> commits{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&, t] {
+      FastRandom rng(t + 55);
+      for (int i = 0; i < 400; ++i) {
+        const int from = static_cast<int>(rng.UniformU64(0, kAccounts - 1));
+        int to = static_cast<int>(rng.UniformU64(0, kAccounts - 1));
+        if (to == from) to = (to + 1) % kAccounts;
+        Transaction txn(db(), fleet[t]);
+        Slice fv, tv;
+        if (!txn.Read(table_, oids[from], &fv).ok()) continue;
+        if (!txn.Read(table_, oids[to], &tv).ok()) continue;
+        const int64_t fb = DecodeI64(fv), tb = DecodeI64(tv);
+        if (!txn.Update(table_, oids[from], EncodeI64(fb - 1)).ok()) continue;
+        if (!txn.Update(table_, oids[to], EncodeI64(tb + 1)).ok()) continue;
+        if (txn.Commit().ok()) commits.fetch_add(1);
+      }
+      ThreadRegistry::Deregister();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_GT(commits.load(), 0u);
+  Transaction txn(db(), CcScheme::kSi);
+  int64_t total = 0;
+  for (int i = 0; i < kAccounts; ++i) {
+    Slice v;
+    ASSERT_TRUE(txn.Read(table_, oids[i], &v).ok());
+    total += DecodeI64(v);
+  }
+  EXPECT_EQ(total, kAccounts * kInitial);
+  EXPECT_TRUE(txn.Commit().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, ConcurrencyTest,
+                         ::testing::Values(CcScheme::kSi, CcScheme::kSiSsn,
+                                           CcScheme::kOcc, CcScheme::k2pl),
+                         testing::SchemeParamName);
+
+}  // namespace
+}  // namespace ermia

@@ -1,0 +1,302 @@
+// Tests for the log subsystem (§3.3): LSN encoding, completion tracking,
+// ring buffer wraps, single-fetch-add reservation, segment rotation with skip
+// records and dead zones, durability, concurrent reservation properties, and
+// the recovery scan with torn tails.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "log/log_manager.h"
+#include "log/log_scan.h"
+#include "test_util.h"
+
+namespace ermia {
+namespace {
+
+TEST(LsnTest, EncodeDecode) {
+  Lsn lsn = Lsn::Make(0x121A0, 0xA);
+  EXPECT_EQ(lsn.offset(), 0x121A0u);
+  EXPECT_EQ(lsn.segment(), 0xAu);
+  EXPECT_FALSE(kInvalidLsn.valid());
+  EXPECT_TRUE(lsn.valid());
+}
+
+TEST(LsnTest, OrderFollowsOffset) {
+  // Segment lives in the low bits, so offsets dominate comparisons.
+  EXPECT_LT(Lsn::Make(100, 15), Lsn::Make(101, 0));
+  EXPECT_LT(Lsn::Make(100, 0), Lsn::Make(100, 1));  // tie-broken by segment
+}
+
+TEST(SegmentTest, FileNameRoundTrip) {
+  std::string name = SegmentFileName(0xA, 0x121A0, 0x131A0);
+  uint32_t seg;
+  uint64_t start, end;
+  ASSERT_TRUE(ParseSegmentFileName(name, &seg, &start, &end));
+  EXPECT_EQ(seg, 0xAu);
+  EXPECT_EQ(start, 0x121A0u);
+  EXPECT_EQ(end, 0x131A0u);
+  EXPECT_FALSE(ParseSegmentFileName("chk-0001", &seg, &start, &end));
+  EXPECT_FALSE(ParseSegmentFileName("cmark-0001", &seg, &start, &end));
+}
+
+TEST(CompletionTrackerTest, InOrderAdvances) {
+  CompletionTracker t(0);
+  t.MarkData(0, 100);
+  EXPECT_EQ(t.complete_until(), 100u);
+  t.MarkData(100, 150);
+  EXPECT_EQ(t.complete_until(), 150u);
+}
+
+TEST(CompletionTrackerTest, OutOfOrderWaitsForGap) {
+  CompletionTracker t(0);
+  t.MarkData(100, 200);
+  EXPECT_EQ(t.complete_until(), 0u);
+  t.MarkHole(0, 100);
+  EXPECT_EQ(t.complete_until(), 200u);
+  auto ranges = t.TakeCompleted(200);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_FALSE(ranges[0].has_data);
+  EXPECT_TRUE(ranges[1].has_data);
+}
+
+TEST(CompletionTrackerTest, TakeSplitsAtBoundary) {
+  CompletionTracker t(0);
+  t.MarkData(0, 100);
+  auto ranges = t.TakeCompleted(60);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].end, 60u);
+  ranges = t.TakeCompleted(100);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].begin, 60u);
+}
+
+TEST(LogRingBufferTest, WrapAroundPreservesBytes) {
+  LogRingBuffer ring(1024);
+  std::string data(300, 'x');
+  for (int i = 0; i < 300; ++i) data[i] = static_cast<char>(i);
+  ring.Write(900, data.data(), data.size());  // wraps at 1024
+  std::string out(300, 0);
+  ring.Read(900, out.data(), out.size());
+  EXPECT_EQ(out, data);
+}
+
+class LogManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::MakeTempDir();
+    config_.log_dir = dir_;
+    config_.log_segment_size = 1 << 16;  // small: exercises rotation
+    config_.log_buffer_size = 1 << 20;
+    log_ = std::make_unique<LogManager>(config_);
+    ASSERT_TRUE(log_->Open().ok());
+  }
+  void TearDown() override {
+    log_.reset();
+    testing::RemoveDir(dir_);
+  }
+
+  // Serializes an empty txn block of `payload` bytes into `out`.
+  static std::vector<char> MakeBlock(uint64_t offset, uint32_t payload_bytes) {
+    std::vector<char> block(sizeof(LogBlockHeader) + payload_bytes, 'p');
+    LogBlockHeader hdr{};
+    hdr.magic = kLogBlockMagic;
+    hdr.type = LogBlockType::kTxn;
+    hdr.offset = offset;
+    hdr.total_size =
+        (static_cast<uint32_t>(block.size()) + 31u) & ~31u;
+    hdr.num_records = 0;
+    hdr.payload_bytes = payload_bytes;
+    hdr.checksum = LogChecksum(block.data() + sizeof hdr, payload_bytes);
+    std::memcpy(block.data(), &hdr, sizeof hdr);
+    return block;
+  }
+
+  std::string dir_;
+  EngineConfig config_;
+  std::unique_ptr<LogManager> log_;
+};
+
+TEST_F(LogManagerTest, ReserveAdvancesMonotonically) {
+  Lsn a = log_->ReserveBlock(64);
+  Lsn b = log_->ReserveBlock(64);
+  EXPECT_LT(a.offset(), b.offset());
+  log_->InstallSkip(a, 64);
+  log_->InstallSkip(b, 64);
+}
+
+TEST_F(LogManagerTest, InstallBecomesDurable) {
+  Lsn lsn = log_->ReserveBlock(96);
+  auto block = MakeBlock(lsn.offset(), 96 - sizeof(LogBlockHeader));
+  log_->InstallBlock(lsn, block.data(), static_cast<uint32_t>(block.size()));
+  log_->WaitForDurable(lsn.offset() + 96);
+  EXPECT_GE(log_->DurableOffset(), lsn.offset() + 96);
+}
+
+TEST_F(LogManagerTest, SegmentRotationProducesValidLsns) {
+  // Fill several segments worth of blocks. The block size does not divide
+  // the segment size, so every rotation closes a segment tail with a skip.
+  const uint32_t block_size = 4096 + 32;
+  const int n = 5 * (1 << 16) / block_size;
+  for (int i = 0; i < n; ++i) {
+    Lsn lsn = log_->ReserveBlock(block_size);
+    auto block = MakeBlock(lsn.offset(), block_size - sizeof(LogBlockHeader));
+    log_->InstallBlock(lsn, block.data(), static_cast<uint32_t>(block.size()));
+    // The returned segment must map the block.
+    bool found = false;
+    for (const auto& seg : log_->Segments()) {
+      if (seg.Contains(lsn.offset(), block_size)) {
+        EXPECT_EQ(seg.segnum, lsn.segment());
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+  EXPECT_GE(log_->segment_rotations(), 4u);
+  EXPECT_GE(log_->skip_blocks(), 1u);  // segment-closing skips
+}
+
+TEST_F(LogManagerTest, ScanSeesCommittedBlocksInOrder) {
+  std::vector<uint64_t> offsets;
+  for (int i = 0; i < 200; ++i) {
+    const uint32_t size = 64 + 32 * (i % 7);
+    Lsn lsn = log_->ReserveBlock(size);
+    auto block = MakeBlock(lsn.offset(), size - sizeof(LogBlockHeader));
+    log_->InstallBlock(lsn, block.data(), static_cast<uint32_t>(block.size()));
+    offsets.push_back(lsn.offset());
+  }
+  log_->WaitForDurable(log_->CurrentOffset());
+  log_->Close();
+
+  LogScanner scanner(dir_);
+  ASSERT_TRUE(scanner.Init().ok());
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(scanner
+                  .Scan(kLogStartOffset,
+                        [&](const ScannedBlock& b) { seen.push_back(b.offset); })
+                  .ok());
+  EXPECT_EQ(seen, offsets);
+}
+
+TEST_F(LogManagerTest, AbortedReservationsAreSkipped) {
+  Lsn keep = log_->ReserveBlock(64);
+  Lsn aborted = log_->ReserveBlock(128);
+  auto block = MakeBlock(keep.offset(), 64 - sizeof(LogBlockHeader));
+  log_->InstallBlock(keep, block.data(), static_cast<uint32_t>(block.size()));
+  log_->InstallSkip(aborted, 128);
+  Lsn after = log_->ReserveBlock(64);
+  auto block2 = MakeBlock(after.offset(), 64 - sizeof(LogBlockHeader));
+  log_->InstallBlock(after, block2.data(), static_cast<uint32_t>(block2.size()));
+  log_->WaitForDurable(log_->CurrentOffset());
+  log_->Close();
+
+  LogScanner scanner(dir_);
+  ASSERT_TRUE(scanner.Init().ok());
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(scanner
+                  .Scan(kLogStartOffset,
+                        [&](const ScannedBlock& b) { seen.push_back(b.offset); })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<uint64_t>{keep.offset(), after.offset()}));
+}
+
+// Property: concurrent reservations never overlap and all become durable.
+TEST_F(LogManagerTest, ConcurrentReservationsAreDisjoint) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 300;
+  std::vector<std::vector<std::pair<uint64_t, uint32_t>>> claimed(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      FastRandom rng(t + 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint32_t size =
+            64 + 32 * static_cast<uint32_t>(rng.UniformU64(0, 16));
+        Lsn lsn = log_->ReserveBlock(size);
+        claimed[t].push_back({lsn.offset(), size});
+        if (rng.Bernoulli(0.2)) {
+          log_->InstallSkip(lsn, size);
+        } else {
+          auto block = MakeBlock(lsn.offset(), size - sizeof(LogBlockHeader));
+          log_->InstallBlock(lsn, block.data(),
+                             static_cast<uint32_t>(block.size()));
+        }
+      }
+      ThreadRegistry::Deregister();
+    });
+  }
+  for (auto& t : threads) t.join();
+  log_->WaitForDurable(log_->CurrentOffset());
+
+  // No two returned blocks overlap.
+  std::vector<std::pair<uint64_t, uint32_t>> all;
+  for (auto& v : claimed) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i].first, all[i - 1].first + all[i - 1].second)
+        << "overlapping reservations at index " << i;
+  }
+}
+
+TEST_F(LogManagerTest, FindTailMatchesDurableEnd) {
+  Lsn lsn = log_->ReserveBlock(64);
+  auto block = MakeBlock(lsn.offset(), 64 - sizeof(LogBlockHeader));
+  log_->InstallBlock(lsn, block.data(), static_cast<uint32_t>(block.size()));
+  log_->WaitForDurable(log_->CurrentOffset());
+  const uint64_t end = log_->DurableOffset();
+  log_->Close();
+  LogScanner scanner(dir_);
+  ASSERT_TRUE(scanner.Init().ok());
+  EXPECT_EQ(scanner.FindTail(), end);
+}
+
+TEST_F(LogManagerTest, ResumeAppendsAfterRestart) {
+  Lsn first = log_->ReserveBlock(64);
+  auto block = MakeBlock(first.offset(), 64 - sizeof(LogBlockHeader));
+  log_->InstallBlock(first, block.data(), static_cast<uint32_t>(block.size()));
+  log_->WaitForDurable(log_->CurrentOffset());
+  log_->Close();
+  log_ = std::make_unique<LogManager>(config_);
+  ASSERT_TRUE(log_->Open().ok());
+  Lsn second = log_->ReserveBlock(64);
+  EXPECT_GT(second.offset(), first.offset());
+  auto block2 = MakeBlock(second.offset(), 64 - sizeof(LogBlockHeader));
+  log_->InstallBlock(second, block2.data(),
+                     static_cast<uint32_t>(block2.size()));
+  log_->WaitForDurable(log_->CurrentOffset());
+  log_->Close();
+
+  LogScanner scanner(dir_);
+  ASSERT_TRUE(scanner.Init().ok());
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(scanner
+                  .Scan(kLogStartOffset,
+                        [&](const ScannedBlock& b) { seen.push_back(b.offset); })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<uint64_t>{first.offset(), second.offset()}));
+}
+
+TEST_F(LogManagerTest, InMemoryModeNeedsNoFiles) {
+  EngineConfig config;
+  config.log_dir = "";
+  LogManager mem(config);
+  ASSERT_TRUE(mem.Open().ok());
+  Lsn lsn = mem.ReserveBlock(64);
+  std::vector<char> block(64, 'x');
+  LogBlockHeader hdr{};
+  hdr.magic = kLogBlockMagic;
+  hdr.type = LogBlockType::kTxn;
+  hdr.offset = lsn.offset();
+  hdr.total_size = 64;
+  std::memcpy(block.data(), &hdr, sizeof hdr);
+  mem.InstallBlock(lsn, block.data(), 64);
+  mem.WaitForDurable(mem.CurrentOffset());
+  EXPECT_GE(mem.DurableOffset(), lsn.offset() + 64);
+  mem.Close();
+}
+
+}  // namespace
+}  // namespace ermia

@@ -1,0 +1,375 @@
+// Recovery tests (§3.7): log-only restart, checkpoint + tail replay, clean
+// shutdown vs crash-shaped shutdown (same code path), deletes and secondary
+// indexes across restarts, repeated restarts, and torn-tail truncation.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "log/log_scan.h"
+#include "test_util.h"
+
+namespace ermia {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_.synchronous_commit = true;  // every commit durable before return
+    db_ = std::make_unique<testing::TempDb>(config_);
+    OpenSchema();
+  }
+
+  void OpenSchema() {
+    ASSERT_TRUE((*db_)->Open().ok());
+    table_ = (*db_)->CreateTable("t");
+    pk_ = (*db_)->CreateIndex(table_, "t_pk");
+    sec_ = (*db_)->CreateIndex(table_, "t_sec");
+  }
+
+  // Simulates a restart: tear down the Database (its destructor does NOT
+  // checkpoint), re-create the same schema, Open, Recover.
+  void Restart() {
+    db_->ShutDown();
+    db_->Restart(config_);
+    table_ = nullptr;
+    pk_ = sec_ = nullptr;
+    table_ = (*db_)->CreateTable("t");
+    pk_ = (*db_)->CreateIndex(table_, "t_pk");
+    sec_ = (*db_)->CreateIndex(table_, "t_sec");
+    ASSERT_TRUE((*db_)->Open().ok());
+    ASSERT_TRUE((*db_)->Recover().ok());
+  }
+
+  void Put(const std::string& key, const std::string& value,
+           const std::string& sec_key = "") {
+    Transaction txn(db_->get(), CcScheme::kSi);
+    Oid oid = 0;
+    Status s = txn.Insert(table_, pk_, key, value, &oid);
+    if (s.IsKeyExists()) {
+      ASSERT_TRUE(txn.GetOid(pk_, key, &oid).ok());
+      ASSERT_TRUE(txn.Update(table_, oid, value).ok());
+    } else {
+      ASSERT_TRUE(s.ok()) << s.ToString();
+    }
+    if (!sec_key.empty()) {
+      ASSERT_TRUE(txn.InsertIndexEntry(sec_, sec_key, oid).ok());
+    }
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+
+  std::string Get(Index* index, const std::string& key) {
+    Transaction txn(db_->get(), CcScheme::kSi);
+    Slice v;
+    Status s = txn.Get(index, key, &v);
+    std::string out = s.ok() ? v.ToString() : "<" + s.ToString() + ">";
+    EXPECT_TRUE(txn.Commit().ok());
+    return out;
+  }
+
+  EngineConfig config_;
+  std::unique_ptr<testing::TempDb> db_;
+  Table* table_ = nullptr;
+  Index* pk_ = nullptr;
+  Index* sec_ = nullptr;
+};
+
+TEST_F(RecoveryTest, LogOnlyRestartRestoresData) {
+  Put("a", "1");
+  Put("b", "2");
+  Restart();
+  EXPECT_EQ(Get(pk_, "a"), "1");
+  EXPECT_EQ(Get(pk_, "b"), "2");
+  EXPECT_EQ(Get(pk_, "c"), "<NOT_FOUND>");
+}
+
+TEST_F(RecoveryTest, UpdatesSurviveWithLatestValue) {
+  Put("k", "v1");
+  Put("k", "v2");
+  Put("k", "v3");
+  Restart();
+  EXPECT_EQ(Get(pk_, "k"), "v3");
+}
+
+TEST_F(RecoveryTest, DeletesSurvive) {
+  Put("keep", "x");
+  Put("gone", "y");
+  {
+    Transaction txn(db_->get(), CcScheme::kSi);
+    Oid oid = 0;
+    ASSERT_TRUE(txn.GetOid(pk_, "gone", &oid).ok());
+    ASSERT_TRUE(txn.Delete(table_, oid).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Restart();
+  EXPECT_EQ(Get(pk_, "keep"), "x");
+  EXPECT_EQ(Get(pk_, "gone"), "<NOT_FOUND>");
+}
+
+TEST_F(RecoveryTest, SecondaryIndexesRebuilt) {
+  Put("pkey", "payload", "skey");
+  Restart();
+  EXPECT_EQ(Get(pk_, "pkey"), "payload");
+  EXPECT_EQ(Get(sec_, "skey"), "payload");
+}
+
+TEST_F(RecoveryTest, AbortedTransactionsLeaveNoTrace) {
+  Put("committed", "yes");
+  {
+    Transaction txn(db_->get(), CcScheme::kSi);
+    ASSERT_TRUE(txn.Insert(table_, pk_, "uncommitted", "no", nullptr).ok());
+    txn.Abort();
+  }
+  Restart();
+  EXPECT_EQ(Get(pk_, "committed"), "yes");
+  EXPECT_EQ(Get(pk_, "uncommitted"), "<NOT_FOUND>");
+}
+
+TEST_F(RecoveryTest, CheckpointPlusTailReplay) {
+  for (int i = 0; i < 50; ++i) {
+    Put("pre" + std::to_string(i), "v" + std::to_string(i));
+  }
+  uint64_t begin = 0;
+  ASSERT_TRUE((*db_)->TakeCheckpoint(&begin).ok());
+  EXPECT_GT(begin, 0u);
+  for (int i = 0; i < 30; ++i) {
+    Put("post" + std::to_string(i), "w" + std::to_string(i));
+  }
+  Put("pre5", "overwritten-after-checkpoint");
+  Restart();
+  EXPECT_EQ(Get(pk_, "pre0"), "v0");
+  EXPECT_EQ(Get(pk_, "pre49"), "v49");
+  EXPECT_EQ(Get(pk_, "post29"), "w29");
+  EXPECT_EQ(Get(pk_, "pre5"), "overwritten-after-checkpoint");
+}
+
+TEST_F(RecoveryTest, CheckpointSkipsRecordsDeletedBeforeIt) {
+  Put("alive", "v");
+  Put("dead-before", "v", "dead-sec");
+  {
+    Transaction txn(db_->get(), CcScheme::kSi);
+    Oid oid = 0;
+    ASSERT_TRUE(txn.GetOid(pk_, "dead-before", &oid).ok());
+    ASSERT_TRUE(txn.Delete(table_, oid).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  // The tombstoned record must not be resurrected by the checkpoint (it is
+  // skipped there) nor by the tail (its insert predates the checkpoint).
+  ASSERT_TRUE((*db_)->TakeCheckpoint(nullptr).ok());
+  Put("dead-after", "v");
+  {
+    Transaction txn(db_->get(), CcScheme::kSi);
+    Oid oid = 0;
+    ASSERT_TRUE(txn.GetOid(pk_, "dead-after", &oid).ok());
+    ASSERT_TRUE(txn.Delete(table_, oid).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Restart();
+  EXPECT_EQ(Get(pk_, "alive"), "v");
+  EXPECT_EQ(Get(pk_, "dead-before"), "<NOT_FOUND>");
+  EXPECT_EQ(Get(sec_, "dead-sec"), "<NOT_FOUND>");
+  EXPECT_EQ(Get(pk_, "dead-after"), "<NOT_FOUND>");
+  // The key space is reusable after recovery (tombstone/absent either way).
+  Put("dead-before", "reborn");
+  EXPECT_EQ(Get(pk_, "dead-before"), "reborn");
+}
+
+TEST_F(RecoveryTest, MultipleCheckpointsUseLatest) {
+  Put("a", "1");
+  ASSERT_TRUE((*db_)->TakeCheckpoint(nullptr).ok());
+  Put("b", "2");
+  ASSERT_TRUE((*db_)->TakeCheckpoint(nullptr).ok());
+  Put("c", "3");
+  Restart();
+  EXPECT_EQ(Get(pk_, "a"), "1");
+  EXPECT_EQ(Get(pk_, "b"), "2");
+  EXPECT_EQ(Get(pk_, "c"), "3");
+}
+
+TEST_F(RecoveryTest, RepeatedRestartsAreStable) {
+  Put("k", "v");
+  for (int round = 0; round < 3; ++round) {
+    Restart();
+    EXPECT_EQ(Get(pk_, "k"), "v");
+    Put("round" + std::to_string(round), std::to_string(round));
+  }
+  Restart();
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(Get(pk_, "round" + std::to_string(round)),
+              std::to_string(round));
+  }
+}
+
+TEST_F(RecoveryTest, TornTailIsTruncated) {
+  Put("good", "data");
+  db_->ShutDown();
+  // Corrupt the tail: append garbage to the newest segment file, emulating a
+  // torn write at crash time.
+  LogScanner scanner(db_->dir());
+  ASSERT_TRUE(scanner.Init().ok());
+  ASSERT_FALSE(scanner.segments().empty());
+  const std::string path = scanner.segments().back().path;
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  ASSERT_GE(fd, 0);
+  std::string garbage(96, '\x5A');
+  ASSERT_EQ(::write(fd, garbage.data(), garbage.size()),
+            static_cast<ssize_t>(garbage.size()));
+  ::close(fd);
+
+  db_->Restart(config_);
+  table_ = (*db_)->CreateTable("t");
+  pk_ = (*db_)->CreateIndex(table_, "t_pk");
+  sec_ = (*db_)->CreateIndex(table_, "t_sec");
+  ASSERT_TRUE((*db_)->Open().ok());
+  ASSERT_TRUE((*db_)->Recover().ok());
+  EXPECT_EQ(Get(pk_, "good"), "data");
+  // And the engine keeps working after truncation.
+  Put("after", "crash");
+  EXPECT_EQ(Get(pk_, "after"), "crash");
+}
+
+TEST_F(RecoveryTest, LazyRecoveryFaultsPayloadsOnFirstAccess) {
+  for (int i = 0; i < 100; ++i) {
+    Put("lazy" + std::to_string(i), "value-" + std::to_string(i),
+        "sec" + std::to_string(i));
+  }
+  ASSERT_TRUE((*db_)->TakeCheckpoint(nullptr).ok());
+  Put("tail", "after-checkpoint");
+
+  // Restart in lazy mode: checkpointed records come back as stubs.
+  EngineConfig lazy = config_;
+  lazy.lazy_recovery = true;
+  db_->ShutDown();
+  db_->Restart(lazy);
+  table_ = (*db_)->CreateTable("t");
+  pk_ = (*db_)->CreateIndex(table_, "t_pk");
+  sec_ = (*db_)->CreateIndex(table_, "t_sec");
+  ASSERT_TRUE((*db_)->Open().ok());
+  ASSERT_TRUE((*db_)->Recover().ok());
+
+  // First accesses materialize; values must be exact, via either index and
+  // under every CC scheme.
+  EXPECT_EQ(Get(pk_, "lazy0"), "value-0");
+  EXPECT_EQ(Get(sec_, "sec42"), "value-42");
+  EXPECT_EQ(Get(pk_, "tail"), "after-checkpoint");
+  {
+    Transaction occ(db_->get(), CcScheme::kOcc);
+    Slice v;
+    ASSERT_TRUE(occ.Get(pk_, "lazy7", &v).ok());
+    EXPECT_EQ(v.ToString(), "value-7");
+    ASSERT_TRUE(occ.Commit().ok());
+  }
+  {
+    Transaction tpl(db_->get(), CcScheme::k2pl);
+    Slice v;
+    ASSERT_TRUE(tpl.Get(pk_, "lazy8", &v).ok());
+    EXPECT_EQ(v.ToString(), "value-8");
+    ASSERT_TRUE(tpl.Commit().ok());
+  }
+  // Repeated reads hit the materialized (head-swapped) version.
+  EXPECT_EQ(Get(pk_, "lazy0"), "value-0");
+  // Scans fault in everything they deliver.
+  {
+    Transaction txn(db_->get(), CcScheme::kSi);
+    int n = 0;
+    ASSERT_TRUE(txn.Scan(pk_, "lazy", "lazy99", -1,
+                         [&](const Slice&, const Slice& v) {
+                           EXPECT_TRUE(v.ToString().rfind("value-", 0) == 0);
+                           ++n;
+                           return true;
+                         })
+                    .ok());
+    EXPECT_EQ(n, 100);
+    EXPECT_TRUE(txn.Commit().ok());
+  }
+  // Updating a still-stubbed record works (writers never need the payload).
+  Put("lazy99", "updated");
+  EXPECT_EQ(Get(pk_, "lazy99"), "updated");
+  // And a further restart (eager this time) round-trips the updates.
+  Restart();
+  EXPECT_EQ(Get(pk_, "lazy99"), "updated");
+  EXPECT_EQ(Get(pk_, "lazy1"), "value-1");
+}
+
+TEST_F(RecoveryTest, RecoveredDataIsWritable) {
+  Put("k", "v1");
+  Restart();
+  Put("k", "v2");
+  EXPECT_EQ(Get(pk_, "k"), "v2");
+  Restart();
+  EXPECT_EQ(Get(pk_, "k"), "v2");
+}
+
+TEST_F(RecoveryTest, RecoveryAcrossManyRotatedSegments) {
+  // Tiny segments force constant rotation: recovery must stitch the state
+  // back together across dozens of files, skip records, and dead zones.
+  EngineConfig small = config_;
+  small.log_segment_size = 1 << 14;  // 16KB
+  db_->ShutDown();
+  db_->Restart(small);
+  table_ = (*db_)->CreateTable("t");
+  pk_ = (*db_)->CreateIndex(table_, "t_pk");
+  sec_ = (*db_)->CreateIndex(table_, "t_sec");
+  ASSERT_TRUE((*db_)->Open().ok());
+  ASSERT_TRUE((*db_)->Recover().ok());
+
+  constexpr int kN = 600;
+  const std::string pad(128, 'p');  // fat rows to burn through segments
+  for (int i = 0; i < kN; ++i) {
+    Put("seg" + std::to_string(i), pad + std::to_string(i));
+  }
+  // Overwrite a stripe so replay ordering matters.
+  for (int i = 0; i < kN; i += 7) {
+    Put("seg" + std::to_string(i), "overwritten" + std::to_string(i));
+  }
+  ASSERT_GT((*db_)->GetStats().log_segment_rotations, 4u);
+
+  db_->ShutDown();
+  db_->Restart(small);
+  table_ = (*db_)->CreateTable("t");
+  pk_ = (*db_)->CreateIndex(table_, "t_pk");
+  sec_ = (*db_)->CreateIndex(table_, "t_sec");
+  ASSERT_TRUE((*db_)->Open().ok());
+  ASSERT_TRUE((*db_)->Recover().ok());
+  for (int i = 0; i < kN; ++i) {
+    const std::string expect = (i % 7 == 0)
+                                   ? "overwritten" + std::to_string(i)
+                                   : pad + std::to_string(i);
+    ASSERT_EQ(Get(pk_, "seg" + std::to_string(i)), expect) << i;
+  }
+}
+
+TEST_F(RecoveryTest, LargeRecoveryVolume) {
+  constexpr int kN = 2000;
+  {
+    auto txn = std::make_unique<Transaction>(db_->get(), CcScheme::kSi);
+    for (int i = 0; i < kN; ++i) {
+      char key[16];
+      std::snprintf(key, sizeof key, "bulk%05d", i);
+      ASSERT_TRUE(
+          txn->Insert(table_, pk_, key, std::to_string(i), nullptr).ok());
+      if ((i + 1) % 200 == 0) {
+        ASSERT_TRUE(txn->Commit().ok());
+        txn = std::make_unique<Transaction>(db_->get(), CcScheme::kSi);
+      }
+    }
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  Restart();
+  Transaction txn(db_->get(), CcScheme::kSi);
+  int count = 0;
+  ASSERT_TRUE(txn.Scan(pk_, "bulk", "bulk99999", -1,
+                       [&](const Slice&, const Slice&) {
+                         ++count;
+                         return true;
+                       })
+                  .ok());
+  EXPECT_EQ(count, kN);
+  EXPECT_TRUE(txn.Commit().ok());
+}
+
+}  // namespace
+}  // namespace ermia
