@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_cc_schemes"
+  "../bench/abl_cc_schemes.pdb"
+  "CMakeFiles/abl_cc_schemes.dir/abl_cc_schemes.cpp.o"
+  "CMakeFiles/abl_cc_schemes.dir/abl_cc_schemes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cc_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_epoch"
+  "../bench/abl_epoch.pdb"
+  "CMakeFiles/abl_epoch.dir/abl_epoch.cpp.o"
+  "CMakeFiles/abl_epoch.dir/abl_epoch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

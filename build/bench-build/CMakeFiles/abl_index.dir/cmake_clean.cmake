@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_index"
+  "../bench/abl_index.pdb"
+  "CMakeFiles/abl_index.dir/abl_index.cpp.o"
+  "CMakeFiles/abl_index.dir/abl_index.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_indirection"
+  "../bench/abl_indirection.pdb"
+  "CMakeFiles/abl_indirection.dir/abl_indirection.cpp.o"
+  "CMakeFiles/abl_indirection.dir/abl_indirection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_indirection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_log_manager"
+  "../bench/abl_log_manager.pdb"
+  "CMakeFiles/abl_log_manager.dir/abl_log_manager.cpp.o"
+  "CMakeFiles/abl_log_manager.dir/abl_log_manager.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_log_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_ycsb"
+  "../bench/abl_ycsb.pdb"
+  "CMakeFiles/abl_ycsb.dir/abl_ycsb.cpp.o"
+  "CMakeFiles/abl_ycsb.dir/abl_ycsb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_microbench"
+  "../bench/fig01_microbench.pdb"
+  "CMakeFiles/fig01_microbench.dir/fig01_microbench.cpp.o"
+  "CMakeFiles/fig01_microbench.dir/fig01_microbench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

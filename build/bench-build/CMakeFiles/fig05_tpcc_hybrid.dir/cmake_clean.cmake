@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_tpcc_hybrid"
+  "../bench/fig05_tpcc_hybrid.pdb"
+  "CMakeFiles/fig05_tpcc_hybrid.dir/fig05_tpcc_hybrid.cpp.o"
+  "CMakeFiles/fig05_tpcc_hybrid.dir/fig05_tpcc_hybrid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_tpcc_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

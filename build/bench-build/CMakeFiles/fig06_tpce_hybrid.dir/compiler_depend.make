@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_tpce_hybrid.
+# This may be replaced when dependencies are built.

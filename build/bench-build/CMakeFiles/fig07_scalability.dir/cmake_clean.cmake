@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_scalability"
+  "../bench/fig07_scalability.pdb"
+  "CMakeFiles/fig07_scalability.dir/fig07_scalability.cpp.o"
+  "CMakeFiles/fig07_scalability.dir/fig07_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_skew"
+  "../bench/fig08_skew.pdb"
+  "CMakeFiles/fig08_skew.dir/fig08_skew.cpp.o"
+  "CMakeFiles/fig08_skew.dir/fig08_skew.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_tpce_hybrid_scalability"
+  "../bench/fig09_tpce_hybrid_scalability.pdb"
+  "CMakeFiles/fig09_tpce_hybrid_scalability.dir/fig09_tpce_hybrid_scalability.cpp.o"
+  "CMakeFiles/fig09_tpce_hybrid_scalability.dir/fig09_tpce_hybrid_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_tpce_hybrid_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_logging"
+  "../bench/fig10_logging.pdb"
+  "CMakeFiles/fig10_logging.dir/fig10_logging.cpp.o"
+  "CMakeFiles/fig10_logging.dir/fig10_logging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

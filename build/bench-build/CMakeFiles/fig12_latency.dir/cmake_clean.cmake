@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_latency"
+  "../bench/fig12_latency.pdb"
+  "CMakeFiles/fig12_latency.dir/fig12_latency.cpp.o"
+  "CMakeFiles/fig12_latency.dir/fig12_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

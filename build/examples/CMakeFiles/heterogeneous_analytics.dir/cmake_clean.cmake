@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_analytics.dir/heterogeneous_analytics.cpp.o"
+  "CMakeFiles/heterogeneous_analytics.dir/heterogeneous_analytics.cpp.o.d"
+  "heterogeneous_analytics"
+  "heterogeneous_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inventory_restart.dir/inventory_restart.cpp.o"
+  "CMakeFiles/inventory_restart.dir/inventory_restart.cpp.o.d"
+  "inventory_restart"
+  "inventory_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inventory_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

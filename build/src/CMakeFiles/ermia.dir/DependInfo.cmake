@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/node_set.cpp" "src/CMakeFiles/ermia.dir/cc/node_set.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/cc/node_set.cpp.o.d"
+  "/root/repo/src/cc/occ.cpp" "src/CMakeFiles/ermia.dir/cc/occ.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/cc/occ.cpp.o.d"
+  "/root/repo/src/cc/si.cpp" "src/CMakeFiles/ermia.dir/cc/si.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/cc/si.cpp.o.d"
+  "/root/repo/src/cc/ssn.cpp" "src/CMakeFiles/ermia.dir/cc/ssn.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/cc/ssn.cpp.o.d"
+  "/root/repo/src/cc/tpl.cpp" "src/CMakeFiles/ermia.dir/cc/tpl.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/cc/tpl.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/CMakeFiles/ermia.dir/common/histogram.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/common/histogram.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/ermia.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/common/status.cpp.o.d"
+  "/root/repo/src/common/sysconf.cpp" "src/CMakeFiles/ermia.dir/common/sysconf.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/common/sysconf.cpp.o.d"
+  "/root/repo/src/common/varstr.cpp" "src/CMakeFiles/ermia.dir/common/varstr.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/common/varstr.cpp.o.d"
+  "/root/repo/src/engine/checkpoint.cpp" "src/CMakeFiles/ermia.dir/engine/checkpoint.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/engine/checkpoint.cpp.o.d"
+  "/root/repo/src/engine/database.cpp" "src/CMakeFiles/ermia.dir/engine/database.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/engine/database.cpp.o.d"
+  "/root/repo/src/engine/recovery.cpp" "src/CMakeFiles/ermia.dir/engine/recovery.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/engine/recovery.cpp.o.d"
+  "/root/repo/src/epoch/epoch_manager.cpp" "src/CMakeFiles/ermia.dir/epoch/epoch_manager.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/epoch/epoch_manager.cpp.o.d"
+  "/root/repo/src/index/btree.cpp" "src/CMakeFiles/ermia.dir/index/btree.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/index/btree.cpp.o.d"
+  "/root/repo/src/log/log_buffer.cpp" "src/CMakeFiles/ermia.dir/log/log_buffer.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/log/log_buffer.cpp.o.d"
+  "/root/repo/src/log/log_manager.cpp" "src/CMakeFiles/ermia.dir/log/log_manager.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/log/log_manager.cpp.o.d"
+  "/root/repo/src/log/log_scan.cpp" "src/CMakeFiles/ermia.dir/log/log_scan.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/log/log_scan.cpp.o.d"
+  "/root/repo/src/log/lsn.cpp" "src/CMakeFiles/ermia.dir/log/lsn.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/log/lsn.cpp.o.d"
+  "/root/repo/src/log/segment.cpp" "src/CMakeFiles/ermia.dir/log/segment.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/log/segment.cpp.o.d"
+  "/root/repo/src/storage/gc.cpp" "src/CMakeFiles/ermia.dir/storage/gc.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/storage/gc.cpp.o.d"
+  "/root/repo/src/storage/indirection_array.cpp" "src/CMakeFiles/ermia.dir/storage/indirection_array.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/storage/indirection_array.cpp.o.d"
+  "/root/repo/src/storage/table.cpp" "src/CMakeFiles/ermia.dir/storage/table.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/storage/table.cpp.o.d"
+  "/root/repo/src/storage/version.cpp" "src/CMakeFiles/ermia.dir/storage/version.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/storage/version.cpp.o.d"
+  "/root/repo/src/txn/tid_manager.cpp" "src/CMakeFiles/ermia.dir/txn/tid_manager.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/txn/tid_manager.cpp.o.d"
+  "/root/repo/src/txn/transaction.cpp" "src/CMakeFiles/ermia.dir/txn/transaction.cpp.o" "gcc" "src/CMakeFiles/ermia.dir/txn/transaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

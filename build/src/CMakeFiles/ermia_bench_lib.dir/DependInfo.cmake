@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench/driver.cpp" "src/CMakeFiles/ermia_bench_lib.dir/bench/driver.cpp.o" "gcc" "src/CMakeFiles/ermia_bench_lib.dir/bench/driver.cpp.o.d"
+  "/root/repo/src/bench/stats.cpp" "src/CMakeFiles/ermia_bench_lib.dir/bench/stats.cpp.o" "gcc" "src/CMakeFiles/ermia_bench_lib.dir/bench/stats.cpp.o.d"
+  "/root/repo/src/workloads/micro/micro_workload.cpp" "src/CMakeFiles/ermia_bench_lib.dir/workloads/micro/micro_workload.cpp.o" "gcc" "src/CMakeFiles/ermia_bench_lib.dir/workloads/micro/micro_workload.cpp.o.d"
+  "/root/repo/src/workloads/tpcc/tpcc_hybrid.cpp" "src/CMakeFiles/ermia_bench_lib.dir/workloads/tpcc/tpcc_hybrid.cpp.o" "gcc" "src/CMakeFiles/ermia_bench_lib.dir/workloads/tpcc/tpcc_hybrid.cpp.o.d"
+  "/root/repo/src/workloads/tpcc/tpcc_loader.cpp" "src/CMakeFiles/ermia_bench_lib.dir/workloads/tpcc/tpcc_loader.cpp.o" "gcc" "src/CMakeFiles/ermia_bench_lib.dir/workloads/tpcc/tpcc_loader.cpp.o.d"
+  "/root/repo/src/workloads/tpcc/tpcc_schema.cpp" "src/CMakeFiles/ermia_bench_lib.dir/workloads/tpcc/tpcc_schema.cpp.o" "gcc" "src/CMakeFiles/ermia_bench_lib.dir/workloads/tpcc/tpcc_schema.cpp.o.d"
+  "/root/repo/src/workloads/tpcc/tpcc_txns.cpp" "src/CMakeFiles/ermia_bench_lib.dir/workloads/tpcc/tpcc_txns.cpp.o" "gcc" "src/CMakeFiles/ermia_bench_lib.dir/workloads/tpcc/tpcc_txns.cpp.o.d"
+  "/root/repo/src/workloads/tpcc/tpcc_workload.cpp" "src/CMakeFiles/ermia_bench_lib.dir/workloads/tpcc/tpcc_workload.cpp.o" "gcc" "src/CMakeFiles/ermia_bench_lib.dir/workloads/tpcc/tpcc_workload.cpp.o.d"
+  "/root/repo/src/workloads/tpce/tpce_loader.cpp" "src/CMakeFiles/ermia_bench_lib.dir/workloads/tpce/tpce_loader.cpp.o" "gcc" "src/CMakeFiles/ermia_bench_lib.dir/workloads/tpce/tpce_loader.cpp.o.d"
+  "/root/repo/src/workloads/tpce/tpce_schema.cpp" "src/CMakeFiles/ermia_bench_lib.dir/workloads/tpce/tpce_schema.cpp.o" "gcc" "src/CMakeFiles/ermia_bench_lib.dir/workloads/tpce/tpce_schema.cpp.o.d"
+  "/root/repo/src/workloads/tpce/tpce_txns.cpp" "src/CMakeFiles/ermia_bench_lib.dir/workloads/tpce/tpce_txns.cpp.o" "gcc" "src/CMakeFiles/ermia_bench_lib.dir/workloads/tpce/tpce_txns.cpp.o.d"
+  "/root/repo/src/workloads/tpce/tpce_workload.cpp" "src/CMakeFiles/ermia_bench_lib.dir/workloads/tpce/tpce_workload.cpp.o" "gcc" "src/CMakeFiles/ermia_bench_lib.dir/workloads/tpce/tpce_workload.cpp.o.d"
+  "/root/repo/src/workloads/ycsb/ycsb_workload.cpp" "src/CMakeFiles/ermia_bench_lib.dir/workloads/ycsb/ycsb_workload.cpp.o" "gcc" "src/CMakeFiles/ermia_bench_lib.dir/workloads/ycsb/ycsb_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ermia.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ermia_bench_lib.dir/bench/driver.cpp.o"
+  "CMakeFiles/ermia_bench_lib.dir/bench/driver.cpp.o.d"
+  "CMakeFiles/ermia_bench_lib.dir/bench/stats.cpp.o"
+  "CMakeFiles/ermia_bench_lib.dir/bench/stats.cpp.o.d"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/micro/micro_workload.cpp.o"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/micro/micro_workload.cpp.o.d"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/tpcc/tpcc_hybrid.cpp.o"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/tpcc/tpcc_hybrid.cpp.o.d"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/tpcc/tpcc_loader.cpp.o"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/tpcc/tpcc_loader.cpp.o.d"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/tpcc/tpcc_schema.cpp.o"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/tpcc/tpcc_schema.cpp.o.d"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/tpcc/tpcc_txns.cpp.o"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/tpcc/tpcc_txns.cpp.o.d"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/tpcc/tpcc_workload.cpp.o"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/tpcc/tpcc_workload.cpp.o.d"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/tpce/tpce_loader.cpp.o"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/tpce/tpce_loader.cpp.o.d"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/tpce/tpce_schema.cpp.o"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/tpce/tpce_schema.cpp.o.d"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/tpce/tpce_txns.cpp.o"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/tpce/tpce_txns.cpp.o.d"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/tpce/tpce_workload.cpp.o"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/tpce/tpce_workload.cpp.o.d"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/ycsb/ycsb_workload.cpp.o"
+  "CMakeFiles/ermia_bench_lib.dir/workloads/ycsb/ycsb_workload.cpp.o.d"
+  "libermia_bench_lib.a"
+  "libermia_bench_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ermia_bench_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

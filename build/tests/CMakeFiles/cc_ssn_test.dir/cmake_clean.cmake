@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_ssn_test.dir/cc_ssn_test.cpp.o"
+  "CMakeFiles/cc_ssn_test.dir/cc_ssn_test.cpp.o.d"
+  "cc_ssn_test"
+  "cc_ssn_test.pdb"
+  "cc_ssn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_ssn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

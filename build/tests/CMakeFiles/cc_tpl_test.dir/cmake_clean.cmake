@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_tpl_test.dir/cc_tpl_test.cpp.o"
+  "CMakeFiles/cc_tpl_test.dir/cc_tpl_test.cpp.o.d"
+  "cc_tpl_test"
+  "cc_tpl_test.pdb"
+  "cc_tpl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_tpl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

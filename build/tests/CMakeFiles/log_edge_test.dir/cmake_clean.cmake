@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_edge_test.dir/log_edge_test.cpp.o"
+  "CMakeFiles/log_edge_test.dir/log_edge_test.cpp.o.d"
+  "log_edge_test"
+  "log_edge_test.pdb"
+  "log_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

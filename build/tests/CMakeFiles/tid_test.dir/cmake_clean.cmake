@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tid_test.dir/tid_test.cpp.o"
+  "CMakeFiles/tid_test.dir/tid_test.cpp.o.d"
+  "tid_test"
+  "tid_test.pdb"
+  "tid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpce_test.dir/tpce_test.cpp.o"
+  "CMakeFiles/tpce_test.dir/tpce_test.cpp.o.d"
+  "tpce_test"
+  "tpce_test.pdb"
+  "tpce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

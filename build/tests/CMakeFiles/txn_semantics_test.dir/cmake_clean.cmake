@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_semantics_test.dir/txn_semantics_test.cpp.o"
+  "CMakeFiles/txn_semantics_test.dir/txn_semantics_test.cpp.o.d"
+  "txn_semantics_test"
+  "txn_semantics_test.pdb"
+  "txn_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ermia_dump.dir/ermia_dump.cpp.o"
+  "CMakeFiles/ermia_dump.dir/ermia_dump.cpp.o.d"
+  "ermia_dump"
+  "ermia_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ermia_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
