@@ -120,6 +120,18 @@ Status Transaction::SiUpdate(Table* table, Oid oid, const Slice& value,
         continue;  // head moved; re-evaluate (likely a conflict now)
       }
     }
+    if (scheme_ == CcScheme::kSiSsn && prev_committed != nullptr) {
+      // Advertise the overwrite in prev's commit word so concurrently
+      // committing readers of prev can find us through the TID table (SSN
+      // parallel commit). First-updater-wins guarantees prev has no other
+      // in-flight overwriter, and an aborted predecessor resets the word
+      // before unlinking its version — so the CAS cannot fail.
+      uint64_t expected = kInfinityStamp;
+      const bool marked = prev_committed->sstamp.compare_exchange_strong(
+          expected, MakeTidStamp(tid_), std::memory_order_seq_cst);
+      ERMIA_DCHECK(marked);
+      (void)marked;
+    }
     uint32_t payload_off = 0;
     const LogRecordType type =
         tombstone ? LogRecordType::kDelete : LogRecordType::kUpdate;

@@ -4,6 +4,26 @@
 // T). Committing with π(T) <= η(T) could close a dependency cycle, so such
 // transactions abort. Versions carry η(V)/π(V) so the stamps survive their
 // creators' contexts.
+//
+// Commit certification is the paper's latch-free *parallel* protocol: there
+// is no global critical section anywhere on this path. Concurrently
+// committing readers and overwriters observe each other through the versions
+// themselves — the overwriter's TID sits in the overwritten version's commit
+// word (sstamp) from install time, readers advertise themselves in the
+// version's readers bitmap — and each committer waits out only the
+// *conflicting* peers ordered before it by cstamp. Three facts make that
+// sound (details in docs/INTERNALS.md "Parallel SSN commit"):
+//
+//   1. cstamp order == the modification order of the log-offset RMWs, and
+//      every committer stores kCommitting (with a pending-cstamp sentinel)
+//      *before* its RMW. So when T's finalization finds a peer still kActive,
+//      that peer's RMW — hence its cstamp — must come after T's: not T's
+//      responsibility (the peer, ordered after T, will observe T instead).
+//   2. Overwriters advertise at version-install time (before their RMW) and
+//      readers advertise at read time (before theirs), so the advertisement
+//      of any peer ordered before T is visible to T's finalization.
+//   3. Waits only ever target peers with strictly smaller cstamps, so the
+//      waits-for relation is acyclic and the protocol is deadlock-free.
 #include "common/spin_latch.h"
 #include "engine/database.h"
 #include "txn/transaction.h"
@@ -26,6 +46,12 @@ void AtomicMin(std::atomic<uint64_t>& target, uint64_t value) {
   }
 }
 
+// Pre-parallel baseline, kept for one release behind
+// EngineConfig::ssn_parallel_commit = false so abl_ssn_commit can measure the
+// win. Correct by latch arrival order: the later arriver always sees the
+// earlier one's published stamps.
+SpinLatch g_ssn_legacy_serial_latch;
+
 }  // namespace
 
 bool Transaction::SsnExclusionViolated() const {
@@ -34,9 +60,39 @@ bool Transaction::SsnExclusionViolated() const {
   return sstamp <= pstamp;
 }
 
+void Transaction::SsnEnsureReaderSlot() {
+  if (ssn_reader_slot_ != SsnReaderRegistry::kNoSlot) return;
+  ssn_reader_slot_ = db_->ssn_readers().Acquire(tid_);
+}
+
+void Transaction::SsnReleaseReads() {
+  if (ssn_reader_slot_ == SsnReaderRegistry::kNoSlot) return;
+  const uint64_t bit = 1ull << ssn_reader_slot_;
+  for (const auto& r : read_set_) {
+    r.version->readers.fetch_and(~bit, std::memory_order_seq_cst);
+  }
+  db_->ssn_readers().Release(ssn_reader_slot_);
+  ssn_reader_slot_ = SsnReaderRegistry::kNoSlot;
+}
+
+void Transaction::SsnResetOverwriteMarks() {
+  const uint64_t mark = MakeTidStamp(tid_);
+  for (auto& w : write_set_) {
+    if (w.prev == nullptr) continue;
+    uint64_t expected = mark;
+    w.prev->sstamp.compare_exchange_strong(expected, kInfinityStamp,
+                                           std::memory_order_seq_cst);
+  }
+}
+
 // Read of committed version v: v's creator is a predecessor of T, and if v is
-// already overwritten, the overwriter is a successor of T.
+// already overwritten, the overwriter is a successor of T. The reader bit
+// must go up before the commit word is sampled: an overwriter that our
+// sample misses will then find the bit during its bitmap scan (or is ordered
+// after us and need not).
 void Transaction::SsnOnRead(Version* v) {
+  SsnEnsureReaderSlot();
+  v->readers.fetch_or(1ull << ssn_reader_slot_, std::memory_order_seq_cst);
   const uint64_t s = v->clsn.load(std::memory_order_acquire);
   if (!IsTidStamp(s)) {
     AtomicMax(ctx_->pstamp, s);
@@ -50,12 +106,30 @@ void Transaction::SsnOnRead(Version* v) {
       AtomicMax(ctx_->pstamp, cstamp);
     }
   }
+  // In-flight π maintenance is a best-effort early-abort heuristic; the
+  // commit-time finalization repeats it with full overwriter resolution.
   const uint64_t vs = v->sstamp.load(std::memory_order_acquire);
-  if (vs != kInfinityStamp) AtomicMin(ctx_->sstamp, vs);
+  if (vs == kInfinityStamp) return;
+  if (!IsTidStamp(vs)) {
+    AtomicMin(ctx_->sstamp, vs);
+    return;
+  }
+  const uint64_t utid = TidFromStamp(vs);
+  uint64_t ucstamp = 0;
+  if (utid != tid_ && db_->tids().Inquire(utid, &ucstamp) ==
+                          TidManager::Outcome::kCommitted) {
+    // The overwriter published its final sstamp before flipping to
+    // kCommitted; re-read to pick it up.
+    const uint64_t fin = v->sstamp.load(std::memory_order_acquire);
+    if (fin != kInfinityStamp && !IsTidStamp(fin)) {
+      AtomicMin(ctx_->sstamp, fin);
+    }
+  }
 }
 
 // Overwrite of committed version prev: prev's creator and prev's committed
-// readers are predecessors of T.
+// readers are predecessors of T. (The TID advertisement in prev's commit
+// word is installed by SiUpdate right after the head CAS succeeds.)
 Status Transaction::SsnOnUpdate(Version* prev) {
   const uint64_t s = prev->clsn.load(std::memory_order_acquire);
   if (!IsTidStamp(s)) AtomicMax(ctx_->pstamp, s);
@@ -66,9 +140,119 @@ Status Transaction::SsnOnUpdate(Version* prev) {
   return Status::OK();
 }
 
-// Commit protocol per Algorithm 1, finalized under the SSN commit latch so
-// concurrently committing readers/overwriters observe each other's stamps in
-// a total order.
+// π(T): own cstamp, plus the final sstamps of the committed overwriters —
+// with smaller cstamps — of everything T read. An in-flight overwriter whose
+// cstamp is (or may end up) smaller than ours is a conflicting peer ordered
+// before us: wait for it to resolve. Overwriters ordered after us are their
+// problem (they will find our reader bit).
+uint64_t Transaction::SsnFinalizeSstamp(uint64_t cstamp) {
+  uint64_t sstamp =
+      std::min(ctx_->sstamp.load(std::memory_order_relaxed), cstamp);
+  for (const auto& r : read_set_) {
+    Version* v = r.version;
+    Backoff backoff;
+    for (;;) {
+      const uint64_t vs = v->sstamp.load(std::memory_order_seq_cst);
+      if (vs == kInfinityStamp) break;  // not overwritten
+      if (!IsTidStamp(vs)) {           // committed overwriter, final π(U)
+        sstamp = std::min(sstamp, vs);
+        break;
+      }
+      const uint64_t utid = TidFromStamp(vs);
+      if (utid == tid_) break;  // we overwrote our own read: no edge
+      uint64_t ucstamp = 0;
+      switch (db_->tids().Inquire(utid, &ucstamp)) {
+        case TidManager::Outcome::kInFlight:
+          // Still kActive: its commit-order RMW — hence its cstamp — must
+          // come after ours (fact 1 in the header comment), so the edge is
+          // its responsibility, not ours.
+          if (ucstamp == 0) break;
+          if (ucstamp != kCstampPending && ucstamp > cstamp) break;
+          backoff.Pause();  // conflicting committer ordered before us
+          continue;
+        case TidManager::Outcome::kCommitted:
+          if (ucstamp > cstamp) break;  // ordered after us: not our edge
+          // Final sstamp was published before the state flip; re-read.
+          continue;
+        case TidManager::Outcome::kAborted:
+          // The overwrite is being rolled back; any replacement overwriter
+          // reserves after us and is ordered after us.
+          break;
+        case TidManager::Outcome::kStale:
+          // Slot recycled: the overwriter finished and rewrote the commit
+          // word (final stamp or infinity) before releasing it; re-read.
+          continue;
+      }
+      break;
+    }
+  }
+  return sstamp;
+}
+
+// η(T): the latest committed reader — with smaller cstamp — of anything T
+// overwrote. Committed readers publish into v.pstamp before flipping state;
+// in-flight committing readers are found through the readers bitmap and the
+// reader registry, and waited out when ordered before us.
+uint64_t Transaction::SsnFinalizePstamp(uint64_t cstamp) {
+  uint64_t pstamp = ctx_->pstamp.load(std::memory_order_relaxed);
+  for (const auto& w : write_set_) {
+    Version* prev = w.prev;
+    if (prev == nullptr) continue;
+    uint64_t bitmap = prev->readers.load(std::memory_order_seq_cst);
+    while (bitmap != 0) {
+      const uint32_t slot =
+          static_cast<uint32_t>(__builtin_ctzll(bitmap));
+      bitmap &= bitmap - 1;
+      const uint64_t rtid = db_->ssn_readers().TidOf(slot);
+      // 0 = the reader finished (its stamp, if committed, is in prev->pstamp
+      // below); our own TID = our own read of prev, no self edge. A recycled
+      // slot can name a transaction that never read prev — resolving it
+      // anyway only inflates η (conservative), never misses an edge.
+      if (rtid == 0 || rtid == tid_) continue;
+      Backoff backoff;
+      for (;;) {
+        uint64_t rcstamp = 0;
+        const auto outcome = db_->tids().Inquire(rtid, &rcstamp);
+        if (outcome == TidManager::Outcome::kInFlight) {
+          if (rcstamp == 0) break;  // kActive: ordered after us (fact 1)
+          if (rcstamp != kCstampPending && rcstamp > cstamp) break;
+          backoff.Pause();  // committing reader ordered before us
+          continue;
+        }
+        if (outcome == TidManager::Outcome::kCommitted &&
+            rcstamp < cstamp) {
+          pstamp = std::max(pstamp, rcstamp);
+        }
+        break;  // committed-after-us / aborted / stale: no edge to record
+      }
+    }
+    // After the bitmap is resolved: every committed reader ordered before us
+    // has either been folded in above or published here.
+    pstamp = std::max(pstamp, prev->pstamp.load(std::memory_order_seq_cst));
+  }
+  return pstamp;
+}
+
+// Publish η(V) for reads and π(T) for overwritten versions. Must precede the
+// kCommitted state store: a peer that waited us out samples these afterwards.
+void Transaction::SsnPublishStamps(uint64_t cstamp, uint64_t pstamp,
+                                   uint64_t sstamp) {
+  ctx_->pstamp.store(pstamp, std::memory_order_relaxed);
+  ctx_->sstamp.store(sstamp, std::memory_order_relaxed);
+  for (const auto& r : read_set_) {
+    AtomicMax(r.version->pstamp, cstamp);
+  }
+  for (const auto& w : write_set_) {
+    if (w.prev != nullptr) {
+      w.prev->sstamp.store(sstamp, std::memory_order_seq_cst);
+    }
+  }
+}
+
+// Commit protocol per Algorithm 1. Pre-commit reserves the stamp, the
+// stamp-finalization loops wait only on conflicting in-flight transactions
+// (via the lock-free TID inquiry), then the exclusion-window test decides and
+// post-commit publishes — all without a global critical section.
 Status Transaction::SsnCommit() {
   Status ns = NodeSetValidate();
   if (!ns.ok()) {
@@ -76,54 +260,60 @@ Status Transaction::SsnCommit() {
     return ns;
   }
   const bool has_writes = !write_set_.empty() || staged_records_ > 0;
+
+  // Advertise intent before claiming the stamp: a peer that observes
+  // kCommitting with the pending sentinel re-inquires for the real stamp
+  // instead of inferring an order that does not exist yet.
+  ctx_->cstamp.store(kCstampPending, std::memory_order_release);
+  ctx_->StoreState(TxnState::kCommitting);
+
   Lsn clsn;
   uint64_t cstamp;
   if (has_writes) {
-    clsn = ReserveCommitBlock();
+    clsn = ReserveCommitBlock();  // seq_cst fetch_add: the commit order point
     cstamp = clsn.value();
   } else {
     // Reader-only commits need a stamp but no log space. Stamp them just
     // *before* the current log tail: every version they read committed below
     // the tail, and every future writer reserves at or above it — so the
     // reader's stamp can never tie with a writer's and trip the exclusion
-    // test spuriously.
-    cstamp = Lsn::Make(db_->log().CurrentOffset(), 0).value() - 1;
+    // test spuriously. OrderedTail is an RMW so the reader still takes a
+    // position in the commit order (fact 1 in the header comment).
+    cstamp = Lsn::Make(db_->log().OrderedTail(), 0).value() - 1;
   }
   ctx_->cstamp.store(cstamp, std::memory_order_release);
-  ctx_->StoreState(TxnState::kCommitting);
 
   bool pass;
-  {
-    SpinLatchGuard g(db_->ssn_commit_latch_);
-    // Finalize η(T): latest committed reader of anything T overwrote.
+  if (db_->config().ssn_parallel_commit) {
+    const uint64_t sstamp = SsnFinalizeSstamp(cstamp);
+    const uint64_t pstamp = SsnFinalizePstamp(cstamp);
+    pass = sstamp > pstamp;  // exclusion window: π(T) <= η(T) forbidden
+    if (pass) SsnPublishStamps(cstamp, pstamp, sstamp);
+  } else {
+    // Legacy serial finalization: test + publication under one global latch,
+    // correct by arrival order (the later arriver sees the earlier one's
+    // published stamps; in-flight TID commit words are skipped because their
+    // owners have not published yet and will see ours when they do).
+    SpinLatchGuard g(g_ssn_legacy_serial_latch);
     uint64_t pstamp = ctx_->pstamp.load(std::memory_order_relaxed);
     for (const auto& w : write_set_) {
       if (w.prev != nullptr) {
-        pstamp = std::max(pstamp, w.prev->pstamp.load(std::memory_order_acquire));
+        pstamp =
+            std::max(pstamp, w.prev->pstamp.load(std::memory_order_acquire));
       }
     }
-    // Finalize π(T): own cstamp and the overwriters of everything T read.
     uint64_t sstamp =
         std::min(ctx_->sstamp.load(std::memory_order_relaxed), cstamp);
     for (const auto& r : read_set_) {
       const uint64_t vs = r.version->sstamp.load(std::memory_order_acquire);
-      if (vs != kInfinityStamp) sstamp = std::min(sstamp, vs);
-    }
-    pass = sstamp > pstamp;  // exclusion window test: π(T) <= η(T) forbidden
-    if (pass) {
-      ctx_->pstamp.store(pstamp, std::memory_order_relaxed);
-      ctx_->sstamp.store(sstamp, std::memory_order_relaxed);
-      // Publish: η(V) for reads, π(V) for overwritten versions.
-      for (const auto& r : read_set_) {
-        AtomicMax(r.version->pstamp, cstamp);
-      }
-      for (const auto& w : write_set_) {
-        if (w.prev != nullptr) {
-          w.prev->sstamp.store(sstamp, std::memory_order_release);
-        }
+      if (vs != kInfinityStamp && !IsTidStamp(vs)) {
+        sstamp = std::min(sstamp, vs);
       }
     }
+    pass = sstamp > pstamp;
+    if (pass) SsnPublishStamps(cstamp, pstamp, sstamp);
   }
+
   if (!pass) {
     if (has_writes) {
       db_->log().InstallSkip(clsn, BlockSizeForStaging());

@@ -1,0 +1,78 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// SSN reader registry (parallel commit, §3.6.2). Versions advertise their
+// in-flight readers in a 64-bit bitmap; the registry maps each bitmap slot to
+// the TID of the transaction currently holding it, so an overwriter
+// finalizing η(T) can resolve every set bit through the lock-free TID table
+// and wait out only the conflicting committers ordered before it. Slots are
+// claimed per transaction (lazily, on the first tracked read) and returned
+// when the transaction finishes — the same bounded-pool pattern as the TID
+// table: with more than kSlots concurrently *reading* SSN transactions,
+// claimants spin until a slot frees, which bounds the fleet without ever
+// serializing the commit path.
+#ifndef ERMIA_CC_SSN_READERS_H_
+#define ERMIA_CC_SSN_READERS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/macros.h"
+#include "common/spin_latch.h"
+
+namespace ermia {
+
+class SsnReaderRegistry {
+ public:
+  static constexpr uint32_t kSlots = 64;  // one bit each in Version::readers
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+  SsnReaderRegistry() = default;
+  ERMIA_NO_COPY(SsnReaderRegistry);
+
+  // Claims a slot for `tid`, spinning only if all kSlots host transactions
+  // with tracked reads.
+  uint32_t Acquire(uint64_t tid) {
+    Backoff backoff;
+    for (;;) {
+      uint64_t free = free_.load(std::memory_order_acquire);
+      if (free == 0) {
+        backoff.Pause();
+        continue;
+      }
+      const uint32_t slot = static_cast<uint32_t>(__builtin_ctzll(free));
+      if (free_.compare_exchange_weak(free, free & ~(1ull << slot),
+                                      std::memory_order_acq_rel)) {
+        slots_[slot].tid.store(tid, std::memory_order_release);
+        return slot;
+      }
+    }
+  }
+
+  // Returns the slot. The caller must have cleared its bit from every
+  // version's readers bitmap and published its read stamps first.
+  void Release(uint32_t slot) {
+    ERMIA_DCHECK(slot < kSlots);
+    slots_[slot].tid.store(0, std::memory_order_release);
+    free_.fetch_or(1ull << slot, std::memory_order_acq_rel);
+  }
+
+  // TID of the transaction currently holding `slot`, or 0 if free. A stale
+  // bitmap bit can resolve to a *different* transaction than the one that set
+  // it (slot reuse); callers treat that conservatively — waiting on or
+  // stamping a non-reader only inflates η, never misses an edge.
+  uint64_t TidOf(uint32_t slot) const {
+    return slots_[slot].tid.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Entry {
+    std::atomic<uint64_t> tid{0};
+  };
+
+  std::atomic<uint64_t> free_{~0ull};
+  Entry slots_[kSlots];
+};
+
+}  // namespace ermia
+
+#endif  // ERMIA_CC_SSN_READERS_H_

@@ -56,6 +56,13 @@ struct EngineConfig {
   // recovery is unsupported in this mode.
   bool log_per_operation = false;
 
+  // SSN commit protocol. Latch-free parallel certification (the paper's
+  // Algorithm 1 with per-version stamp publication) is the default; the
+  // pre-parallel variant that serializes the exclusion-window test and stamp
+  // publication under one global spin latch is kept for one release behind
+  // this flag so the ablation bench can measure the difference.
+  bool ssn_parallel_commit = true;
+
   // Garbage collection: background thread trims version chains.
   bool enable_gc = true;
   uint64_t gc_interval_ms = 40;

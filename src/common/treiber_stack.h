@@ -1,0 +1,129 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// Lock-free Treiber stack over an index-based node pool. The head word packs
+// a 32-bit node reference with a 32-bit ABA tag bumped on every successful
+// CAS, so a node recycled between a racing pop's read and its CAS can never
+// be mistaken for the original. Nodes come from a chunked, CAS-published
+// pool (same growth pattern as the indirection array: slots never move) and
+// are recycled through an internal spare stack instead of being freed, which
+// keeps every speculative `next` read inside always-valid memory.
+#ifndef ERMIA_COMMON_TREIBER_STACK_H_
+#define ERMIA_COMMON_TREIBER_STACK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+
+#include "common/macros.h"
+
+namespace ermia {
+
+template <typename T>
+class TreiberStack {
+ public:
+  TreiberStack() {
+    for (auto& c : chunks_) c.store(nullptr, std::memory_order_relaxed);
+  }
+
+  ~TreiberStack() {
+    for (auto& c : chunks_) {
+      Node* chunk = c.load(std::memory_order_relaxed);
+      if (chunk != nullptr) std::free(chunk);
+    }
+  }
+
+  ERMIA_NO_COPY(TreiberStack);
+
+  void Push(const T& value) {
+    uint32_t ref = PopRef(&spare_head_);
+    if (ref == kNullRef) ref = AllocNode();
+    NodeAt(ref)->value = value;
+    PushRef(&head_, ref);
+  }
+
+  bool Pop(T* value) {
+    const uint32_t ref = PopRef(&head_);
+    if (ref == kNullRef) return false;
+    *value = NodeAt(ref)->value;
+    PushRef(&spare_head_, ref);
+    return true;
+  }
+
+  bool Empty() const {
+    return RefOf(head_.load(std::memory_order_acquire)) == kNullRef;
+  }
+
+ private:
+  static constexpr uint32_t kNullRef = 0;  // refs are index + 1
+  static constexpr uint32_t kChunkBits = 12;
+  static constexpr uint32_t kChunkSize = 1u << kChunkBits;
+  static constexpr uint32_t kMaxChunks = 1u << 12;  // 16M nodes
+
+  struct Node {
+    std::atomic<uint32_t> next;
+    T value;
+  };
+
+  static uint32_t RefOf(uint64_t head) {
+    return static_cast<uint32_t>(head);
+  }
+  static uint64_t MakeHead(uint32_t ref, uint64_t prev_head) {
+    return ((prev_head >> 32) + 1) << 32 | ref;  // bump the ABA tag
+  }
+
+  Node* NodeAt(uint32_t ref) {
+    const uint32_t idx = ref - 1;
+    return &chunks_[idx >> kChunkBits].load(std::memory_order_acquire)
+                [idx & (kChunkSize - 1)];
+  }
+
+  uint32_t AllocNode() {
+    const uint32_t idx = next_node_.fetch_add(1, std::memory_order_relaxed);
+    ERMIA_CHECK(idx < kMaxChunks * kChunkSize);
+    const uint32_t chunk_idx = idx >> kChunkBits;
+    if (chunks_[chunk_idx].load(std::memory_order_acquire) == nullptr) {
+      auto* fresh = static_cast<Node*>(std::calloc(kChunkSize, sizeof(Node)));
+      ERMIA_CHECK(fresh != nullptr);
+      Node* expected = nullptr;
+      if (!chunks_[chunk_idx].compare_exchange_strong(
+              expected, fresh, std::memory_order_acq_rel)) {
+        std::free(fresh);  // another thread published the chunk first
+      }
+    }
+    return idx + 1;
+  }
+
+  void PushRef(std::atomic<uint64_t>* head, uint32_t ref) {
+    Node* node = NodeAt(ref);
+    uint64_t cur = head->load(std::memory_order_acquire);
+    for (;;) {
+      node->next.store(RefOf(cur), std::memory_order_relaxed);
+      if (head->compare_exchange_weak(cur, MakeHead(ref, cur),
+                                      std::memory_order_acq_rel)) {
+        return;
+      }
+    }
+  }
+
+  uint32_t PopRef(std::atomic<uint64_t>* head) {
+    uint64_t cur = head->load(std::memory_order_acquire);
+    for (;;) {
+      const uint32_t ref = RefOf(cur);
+      if (ref == kNullRef) return kNullRef;
+      const uint32_t next = NodeAt(ref)->next.load(std::memory_order_relaxed);
+      if (head->compare_exchange_weak(cur, MakeHead(next, cur),
+                                      std::memory_order_acq_rel)) {
+        return ref;
+      }
+    }
+  }
+
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> spare_head_{0};
+  std::atomic<uint32_t> next_node_{0};
+  std::atomic<Node*> chunks_[kMaxChunks];
+};
+
+}  // namespace ermia
+
+#endif  // ERMIA_COMMON_TREIBER_STACK_H_

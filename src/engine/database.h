@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cc/lock_manager.h"
+#include "cc/ssn_readers.h"
 #include "common/macros.h"
 #include "common/status.h"
 #include "common/sysconf.h"
@@ -81,6 +82,7 @@ class Database {
   // ---- physical layer access ----
   LogManager& log() { return log_; }
   TidManager& tids() { return tids_; }
+  SsnReaderRegistry& ssn_readers() { return ssn_readers_; }
   RecordLockTable& lock_table() { return lock_table_; }
   GarbageCollector& gc() { return *gc_; }
   EpochManager& gc_epoch() { return gc_epoch_; }
@@ -100,15 +102,13 @@ class Database {
  private:
   friend class Transaction;
 
-  // Serializes the SSN exclusion-window test + stamp publication. The test
-  // itself is a handful of loads/stores; serializing it gives a total order
-  // of SSN finalizations that closes the reader/overwriter races the SSN
-  // paper's parallel-commit machinery exists for (see DESIGN.md).
-  SpinLatch ssn_commit_latch_;
-
   EngineConfig config_;
   LogManager log_;
   TidManager tids_;
+  // SSN parallel commit: maps Version::readers bitmap slots to reader TIDs so
+  // overwriters can resolve in-flight readers without a global latch (see
+  // docs/INTERNALS.md "Parallel SSN commit").
+  SsnReaderRegistry ssn_readers_;
   RecordLockTable lock_table_;  // 2PL baseline only
   EpochManager gc_epoch_;   // version reclamation (coarse timescale)
   EpochManager rcu_epoch_;  // structure memory (medium timescale)

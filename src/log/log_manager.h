@@ -50,6 +50,17 @@ class LogManager {
   // losers' blocks become dead zones and they retry.
   Lsn ReserveBlock(uint32_t size);
 
+  // Zero-byte reservation: returns the current tail like CurrentOffset() but
+  // as a seq_cst RMW on the offset word, so the caller takes a position in
+  // the log's modification order without consuming LSN space. SSN's parallel
+  // commit uses this to stamp reader-only transactions: the RMW order of all
+  // commit-stamp claims (this and ReserveBlock's fetch_add) matches cstamp
+  // order, which is what lets a committer infer that any peer it observes as
+  // not-yet-committing must end up with a larger cstamp.
+  uint64_t OrderedTail() {
+    return next_offset_.fetch_add(0, std::memory_order_seq_cst);
+  }
+
   // Copies a fully serialized block (header + records) into the central ring
   // and marks its range complete. `size` must equal the reserved size.
   void InstallBlock(Lsn lsn, const void* block, uint32_t size);

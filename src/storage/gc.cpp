@@ -35,16 +35,23 @@ void GarbageCollector::Stop() {
 }
 
 void GarbageCollector::NotifyUpdate(Table* table, Oid oid) {
-  SpinLatchGuard g(queue_latch_);
-  queue_.push_back({table, oid});
+  Shard& shard = shards_[ThreadRegistry::MyId() % kMaxThreads];
+  SpinLatchGuard g(shard.latch);
+  shard.queue.push_back({table, oid});
 }
 
 size_t GarbageCollector::RunOnce() {
   const uint64_t boundary = oldest_active_();
   std::deque<Item> batch;
-  {
-    SpinLatchGuard g(queue_latch_);
-    batch.swap(queue_);
+  for (Shard& shard : shards_) {
+    SpinLatchGuard g(shard.latch);
+    if (shard.queue.empty()) continue;
+    if (batch.empty()) {
+      batch.swap(shard.queue);
+    } else {
+      batch.insert(batch.end(), shard.queue.begin(), shard.queue.end());
+      shard.queue.clear();
+    }
   }
   size_t reclaimed = 0;
   for (const Item& item : batch) {
@@ -71,6 +78,12 @@ size_t GarbageCollector::RunOnce() {
       // exist the record will be re-enqueued by its next update anyway.
       continue;
     }
+    // Count before handing the chain to the epoch manager: once deferred,
+    // another thread may run the reclaimer and free it under us.
+    for (Version* v = dead; v != nullptr;
+         v = v->next.load(std::memory_order_relaxed)) {
+      ++reclaimed;
+    }
     // Defer the frees until every thread active now has quiesced.
     gc_epoch_->Defer([dead] {
       Version* v = dead;
@@ -80,10 +93,6 @@ size_t GarbageCollector::RunOnce() {
         v = next;
       }
     });
-    for (Version* v = dead; v != nullptr;
-         v = v->next.load(std::memory_order_relaxed)) {
-      ++reclaimed;
-    }
   }
   total_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
   return reclaimed;

@@ -17,6 +17,7 @@
 
 #include "common/macros.h"
 #include "common/spin_latch.h"
+#include "common/sysconf.h"
 #include "epoch/epoch_manager.h"
 #include "storage/table.h"
 
@@ -55,8 +56,15 @@ class GarbageCollector {
   EpochManager* gc_epoch_;
   std::function<uint64_t()> oldest_active_;
 
-  SpinLatch queue_latch_;
-  std::deque<Item> queue_;
+  // Per-thread recycle queues (sharded by ThreadRegistry::MyId()): committing
+  // workers enqueue into their own shard, so the commit path never contends
+  // with other workers — only with the collector's periodic drain of that
+  // shard, which is brief and touches one shard at a time.
+  struct alignas(kCacheLineSize) Shard {
+    SpinLatch latch;
+    std::deque<Item> queue;
+  };
+  Shard shards_[kMaxThreads];
 
   std::thread daemon_;
   std::atomic<bool> stop_{true};

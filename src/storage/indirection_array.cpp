@@ -26,24 +26,15 @@ IndirectionArray::~IndirectionArray() {
 }
 
 Oid IndirectionArray::Allocate() {
-  {
-    SpinLatchGuard g(free_latch_);
-    if (!free_list_.empty()) {
-      Oid oid = free_list_.back();
-      free_list_.pop_back();
-      return oid;
-    }
-  }
-  Oid oid = next_oid_.fetch_add(1, std::memory_order_relaxed);
+  Oid oid;
+  if (free_list_.Pop(&oid)) return oid;
+  oid = next_oid_.fetch_add(1, std::memory_order_relaxed);
   ERMIA_CHECK(oid < kMaxChunks * kChunkSize);
   (void)Slot(oid);  // make the slot addressable before handing it out
   return oid;
 }
 
-void IndirectionArray::Free(Oid oid) {
-  SpinLatchGuard g(free_latch_);
-  free_list_.push_back(oid);
-}
+void IndirectionArray::Free(Oid oid) { free_list_.Push(oid); }
 
 std::atomic<Version*>* IndirectionArray::Slot(Oid oid) {
   const uint32_t chunk_idx = oid >> kChunkBits;

@@ -9,10 +9,9 @@
 #define ERMIA_STORAGE_INDIRECTION_ARRAY_H_
 
 #include <atomic>
-#include <vector>
 
 #include "common/macros.h"
-#include "common/spin_latch.h"
+#include "common/treiber_stack.h"
 #include "log/log_record.h"
 #include "storage/version.h"
 
@@ -71,8 +70,9 @@ class IndirectionArray {
   std::atomic<std::atomic<Version*>*> chunks_[kMaxChunks];
   std::atomic<Oid> next_oid_{1};  // OID 0 is invalid
 
-  SpinLatch free_latch_;
-  std::vector<Oid> free_list_;
+  // Lock-free OID recycling (Treiber stack): allocation never takes a latch
+  // even when it hits the free list.
+  TreiberStack<Oid> free_list_;
 };
 
 }  // namespace ermia

@@ -36,12 +36,26 @@ inline uint64_t StampOffset(uint64_t s) {
 struct Version {
   std::atomic<Version*> next{nullptr};
   std::atomic<uint64_t> clsn{0};
-  // SSN stamps, meaningful once the creating/overwriting transactions commit:
-  // pstamp = η(V): commit stamp of V's most recent committed reader.
-  // sstamp = π(U): successor stamp of the transaction that overwrote V
-  //                (kInfinityStamp while V is the latest version).
+  // SSN stamps (parallel commit, §3.6.2 / docs/INTERNALS.md "Parallel SSN
+  // commit"):
+  // pstamp = η(V): commit stamp of V's most recent committed reader,
+  //                CAS-published (atomic max) by readers during pre-commit.
+  // sstamp = V's commit word. Exactly one of three states:
+  //            kInfinityStamp      — V is the latest version;
+  //            TID | kTidStampFlag — an in-flight transaction overwrote V and
+  //                                  has not resolved (set at install time, so
+  //                                  concurrent committers can find the
+  //                                  overwriter through the TID table);
+  //            π(U)                — final successor stamp of the committed
+  //                                  overwriter U, published before U's state
+  //                                  flips to kCommitted.
   std::atomic<uint64_t> pstamp{0};
   std::atomic<uint64_t> sstamp{kInfinityStamp};
+  // In-flight reader advertisement: bit s set while the transaction holding
+  // SSN reader slot s has V in its read set. Overwriters resolve set bits
+  // through the reader registry + TID table and wait out only conflicting
+  // committers with smaller cstamps (never a global latch).
+  std::atomic<uint64_t> readers{0};
   // Logical log offset of this version's payload (its durable address), set
   // during pre-commit when the log block is serialized.
   uint64_t log_ptr{0};

@@ -27,10 +27,17 @@ enum class TxnState : uint32_t {
   kAborted = 4,
 };
 
+// Commit-stamp sentinel: stored to TxnContext::cstamp *before* the commit
+// stamp is claimed from the log, so a peer that observes kCommitting with
+// this value knows a stamp is imminent but unordered yet — it must re-inquire
+// rather than infer an ordering (SSN parallel commit).
+inline constexpr uint64_t kCstampPending = UINT64_MAX;
+
 struct alignas(kCacheLineSize) TxnContext {
   std::atomic<uint64_t> tid{0};
   std::atomic<uint64_t> begin{0};     // begin timestamp (log offset)
-  std::atomic<uint64_t> cstamp{0};    // commit Lsn::value(), 0 until assigned
+  std::atomic<uint64_t> cstamp{0};    // commit Lsn::value(), 0 until assigned,
+                                      // kCstampPending while being claimed
   std::atomic<uint32_t> state{static_cast<uint32_t>(TxnState::kCommitted)};
   // SSN per-transaction stamps (§3.6.2), offsets in the log's LSN space.
   std::atomic<uint64_t> pstamp{0};             // η(T)

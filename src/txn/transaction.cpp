@@ -80,11 +80,21 @@ Status Transaction::Insert(Table* table, Index* primary, const Slice& key,
   Oid existing = 0;
   NodeHandle handle;
   bool found;
+  Backoff probe_backoff;
+probe:
   {
     ERMIA_PROF_INDEX();
     found = primary->tree().Lookup(key, &existing, &handle);
   }
   if (found) {
+    if (table->array().Head(existing) == nullptr) {
+      // Entry present but the chain is empty: the inserter is mid-abort
+      // (entry removal comes first, so this window is between its unlink and
+      // the removal we already missed). Adopting the OID now would race its
+      // free; wait out the rollback and re-probe.
+      probe_backoff.Pause();
+      goto probe;
+    }
     RegisterNode(handle);
     Slice unused;
     Status s = Read(table, existing, &unused);
@@ -378,6 +388,10 @@ void Transaction::PostCommit(Lsn clsn) {
 void Transaction::Finish(bool committed) {
   ERMIA_DCHECK(!finished_);
   (void)committed;
+  // SSN: drop the reader advertisements (stamps, if any, were published
+  // before the state flip) and return the registry slot before the TID slot
+  // becomes reusable.
+  SsnReleaseReads();
   for (Version* v : scratch_versions_) Version::Free(v);
   scratch_versions_.clear();
   db_->tids().Release(ctx_);
@@ -462,6 +476,20 @@ Status Transaction::Commit() {
 
 void Transaction::Abort() {
   if (finished_) return;
+  // SSN: roll the overwrite advertisements back to infinity *before*
+  // unlinking — the next overwriter may CAS the head the instant the unlink
+  // lands, and it expects a clean commit word.
+  if (scheme_ == CcScheme::kSiSsn) SsnResetOverwriteMarks();
+  // Remove index entries added by this transaction FIRST (bumps leaf
+  // versions, so concurrent validators relying on those leaves will abort —
+  // conservative but safe). Ordering matters: while the entry exists our
+  // TID-stamped head rejects every writer (first-updater-wins), but once the
+  // chain below is unlinked to empty, a racing Insert could adopt the OID
+  // through the entry — and we are about to free that OID.
+  for (auto it = index_inserts_.rbegin(); it != index_inserts_.rend(); ++it) {
+    ERMIA_PROF_INDEX();
+    it->index->tree().Remove(it->key.slice());
+  }
   // Unlink installed versions, newest first: our uncommitted head cannot be
   // displaced by anyone else (their CAS expects a committed head), so the
   // unlink CAS must succeed.
@@ -478,15 +506,15 @@ void Transaction::Abort() {
     Version* dead = w.version;
     db_->gc_epoch().Defer([dead] { Version::Free(dead); });
   }
-  // Remove index entries added by this transaction (bumps leaf versions, so
-  // concurrent validators relying on those leaves will abort — conservative
-  // but safe), then release freshly allocated OIDs.
-  for (auto it = index_inserts_.rbegin(); it != index_inserts_.rend(); ++it) {
-    ERMIA_PROF_INDEX();
-    it->index->tree().Remove(it->key.slice());
-  }
+  // Release freshly allocated OIDs — but only while their chains are still
+  // empty. A racer that slipped through the reuse window gets to keep the
+  // OID (it leaks from the allocator's perspective, which is harmless; a
+  // double grant would corrupt two records).
   for (auto& w : write_set_) {
-    if (w.is_insert) w.table->array().Free(w.oid);
+    if (w.is_insert &&
+        w.slot->load(std::memory_order_acquire) == nullptr) {
+      w.table->array().Free(w.oid);
+    }
   }
   if (scheme_ == CcScheme::k2pl) TplReleaseAll();
   ctx_->StoreState(TxnState::kAborted);

@@ -172,9 +172,26 @@ class Transaction {
   // ---- SSN (cc/ssn.cpp) ----
   void SsnOnRead(Version* version);
   Status SsnOnUpdate(Version* prev);
-  Status SsnPreCommitValidate(uint64_t cstamp_value);  // exclusion test+stamps
   Status SsnCommit();
   bool SsnExclusionViolated() const;
+  // Parallel-commit pieces (Algorithm 1, latch-free; see docs/INTERNALS.md):
+  // π(T): own cstamp and the final sstamps of committed overwriters of
+  // everything T read, waiting out conflicting in-flight overwriters that
+  // are ordered before T.
+  uint64_t SsnFinalizeSstamp(uint64_t cstamp);
+  // η(T): committed readers of everything T overwrote, resolved through the
+  // per-version readers bitmap + reader registry + TID table.
+  uint64_t SsnFinalizePstamp(uint64_t cstamp);
+  // Publishes η(V) to read versions and π(T) to overwritten versions; must
+  // precede the kCommitted state store so waiters observe final stamps.
+  void SsnPublishStamps(uint64_t cstamp, uint64_t pstamp, uint64_t sstamp);
+  // Claims/returns the SSN reader slot; bits are set in SsnOnRead and cleared
+  // (with the slot) in Finish via SsnReleaseReads.
+  void SsnEnsureReaderSlot();
+  void SsnReleaseReads();
+  // Abort path: rolls in-flight overwrite advertisements (TID-valued commit
+  // words on overwritten versions) back to kInfinityStamp.
+  void SsnResetOverwriteMarks();
 
   // ---- 2PL (cc/tpl.cpp) ----
   Status TplAcquire(Table* table, Oid oid, bool exclusive);
@@ -198,6 +215,8 @@ class Transaction {
   TxnContext* ctx_ = nullptr;
   uint64_t tid_ = 0;
   uint64_t begin_ = 0;  // begin timestamp (log offset)
+  // SSN reader-registry slot (kNoSlot until the first tracked read).
+  uint32_t ssn_reader_slot_ = UINT32_MAX;
 
   std::vector<ReadSetEntry> read_set_;
   std::vector<WriteSetEntry> write_set_;
