@@ -9,9 +9,10 @@
 using namespace ermia;
 using namespace ermia::bench;
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("abl_cc_schemes: four CC schemes vs contention",
               "DESIGN.md ablation (paper §2 discussion)");
+  JsonReporter json(argc, argv, "abl_cc_schemes");
 
   const double seconds = EnvSeconds(0.3);
   const uint32_t threads = EnvThreads({4}).front();
@@ -48,6 +49,10 @@ int main() {
       options.seconds = seconds;
       options.scheme = scheme;
       BenchResult r = RunBench(scoped.db, &workload, options);
+      json.Add(std::string(CcSchemeName(scheme)) + "/rows=" +
+                   std::to_string(p.rows) + "/wr=" +
+                   std::to_string(p.write_ratio),
+               r);
       const double aborts =
           r.total_commits() + r.total_aborts() > 0
               ? 100.0 * r.total_aborts() /

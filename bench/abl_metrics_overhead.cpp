@@ -1,0 +1,94 @@
+// Ablation: cost of the always-on metrics layer. Runs the same write-heavy
+// microbenchmark with the sharded counters live and with
+// SetSuppressedForAblation(true), which keeps every instrumentation branch in
+// place but skips the shard writes (the branch itself is part of the measured
+// cost either way). Acceptance: metrics-on throughput within ~2% of
+// suppressed; the per-thread shards make increments plain cache-local stores,
+// so the gap should be noise.
+#include <algorithm>
+
+#include "bench_util.h"
+#include "metrics/metrics.h"
+#include "workloads/micro/micro_workload.h"
+
+using namespace ermia;
+using namespace ermia::bench;
+
+int main(int argc, char** argv) {
+  PrintHeader("abl_metrics_overhead: sharded metrics on vs suppressed",
+              "DESIGN.md ablation (observability layer)");
+  JsonReporter json(argc, argv, "abl_metrics_overhead");
+
+  const double seconds = EnvSeconds(0.5);
+  const std::vector<uint32_t> threads = EnvThreads({1, 2, 4});
+
+  // Small read sets + frequent writes maximize the metrics-to-work ratio:
+  // every operation and every commit touches the counters, so any per-event
+  // cost shows up here before it would in a realistic mix. One database
+  // serves every sample — reloading between runs would swamp the measured
+  // effect with allocator/page-cache state differences.
+  micro::MicroConfig cfg;
+  cfg.table_rows = 100000;
+  cfg.reads_per_txn = 4;
+  cfg.write_ratio = 0.5;
+  micro::MicroWorkload workload(cfg);
+  ScopedDatabase scoped;
+  ERMIA_CHECK(scoped.db->Open().ok());
+  ERMIA_CHECK(workload.Load(scoped.db).ok());
+
+  auto run = [&](bool suppressed, uint32_t t) {
+    metrics::SetSuppressedForAblation(suppressed);
+    BenchOptions options;
+    options.threads = t;
+    options.seconds = seconds;
+    options.scheme = CcScheme::kSi;
+    BenchResult r = RunBench(scoped.db, &workload, options);
+    metrics::SetSuppressedForAblation(false);
+    return r;
+  };
+
+  std::printf("\nmicro (100K rows, 4 reads + 50%% writes), ERMIA-SI\n");
+  std::printf("%8s %16s %16s %10s\n", "threads", "suppressed-kTps",
+              "metrics-kTps", "overhead");
+
+  // The true per-event cost (a handful of cache-local stores per txn) is far
+  // below a shared box's run-to-run noise, so a single A/B pair is dominated
+  // by warm-up and drift no matter the order. Instead: several back-to-back
+  // pairs, the within-pair order alternating each repetition (AB, BA, AB,
+  // ...) so monotone drift cancels, and the reported overhead is the median
+  // of the per-pair ratios — paired samples sit ~one run apart in time, the
+  // scale where drift is smallest. A throwaway round absorbs the cold start.
+  constexpr int kReps = 5;
+  run(/*suppressed=*/true, threads.front());
+  for (uint32_t t : threads) {
+    std::vector<double> ratios;  // on/off per pair
+    std::vector<double> off_tps, on_tps;
+    BenchResult off, on;
+    for (int rep = 0; rep < kReps; ++rep) {
+      BenchResult o, m;
+      if (rep % 2 == 0) {
+        o = run(/*suppressed=*/true, t);
+        m = run(/*suppressed=*/false, t);
+      } else {
+        m = run(/*suppressed=*/false, t);
+        o = run(/*suppressed=*/true, t);
+      }
+      if (o.tps() > 0) ratios.push_back(m.tps() / o.tps());
+      off_tps.push_back(o.tps());
+      on_tps.push_back(m.tps());
+      off = std::move(o);
+      on = std::move(m);
+    }
+    std::sort(ratios.begin(), ratios.end());
+    std::sort(off_tps.begin(), off_tps.end());
+    std::sort(on_tps.begin(), on_tps.end());
+    const double overhead =
+        ratios.empty() ? 0.0 : 100.0 * (1.0 - ratios[ratios.size() / 2]);
+    std::printf("%8u %16.2f %16.2f %9.2f%%\n", t,
+                off_tps[kReps / 2] / 1000.0, on_tps[kReps / 2] / 1000.0,
+                overhead);
+    json.Add("suppressed/threads=" + std::to_string(t), off);
+    json.Add("metrics/threads=" + std::to_string(t), on);
+  }
+  return 0;
+}

@@ -39,9 +39,10 @@ BenchResult RunMode(bool parallel_commit, uint32_t threads, double seconds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("abl_ssn_commit: global-latch vs latch-free SSN certification",
               "DESIGN.md ablation (paper §3.6.2, Algorithm 1)");
+  JsonReporter json(argc, argv, "abl_ssn_commit");
 
   const double seconds = EnvSeconds(0.3);
   const std::vector<uint32_t> threads = EnvThreads({1, 2, 4, 8});
@@ -62,6 +63,8 @@ int main() {
   for (uint32_t t : threads) {
     BenchResult latched = RunMode(/*parallel_commit=*/false, t, seconds);
     BenchResult parallel = RunMode(/*parallel_commit=*/true, t, seconds);
+    json.Add("latched/threads=" + std::to_string(t), latched);
+    json.Add("parallel/threads=" + std::to_string(t), parallel);
     const double ratio =
         latched.tps() > 0 ? parallel.tps() / latched.tps() : 0.0;
     last_ratio = ratio;

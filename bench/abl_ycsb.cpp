@@ -8,9 +8,10 @@
 using namespace ermia;
 using namespace ermia::bench;
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("abl_ycsb: YCSB A/B/C/E/F across CC schemes",
               "DESIGN.md ablation (extension)");
+  JsonReporter json(argc, argv, "abl_ycsb");
   const double seconds = EnvSeconds(0.3);
   const uint32_t threads = EnvThreads({4}).front();
   const uint64_t records = std::max<uint64_t>(
@@ -45,6 +46,7 @@ int main() {
       BenchResult r = RunBench(scoped.db, &workload, options);
       std::printf(" %12.2f", r.tps() / 1000.0);
       std::fflush(stdout);
+      json.Add(std::string(CcSchemeName(scheme)) + "/mix=" + name, r);
     }
     std::printf("\n");
   }

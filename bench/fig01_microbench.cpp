@@ -12,9 +12,10 @@
 using namespace ermia;
 using namespace ermia::bench;
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("fig01_microbench: read-mostly txns vs write ratio",
               "Figure 1 (1K reads left, 10K reads right)");
+  JsonReporter json(argc, argv, "fig01_microbench");
 
   const double seconds = EnvSeconds(0.3);
   const uint32_t threads = EnvThreads({4}).front();
@@ -48,6 +49,9 @@ int main() {
         BenchResult r = RunBench(scoped.db, &workload, options);
         std::printf(" %14.2f", r.tps() / 1000.0);
         std::fflush(stdout);
+        json.Add(std::string(CcSchemeName(scheme)) + "/reads=" +
+                     std::to_string(reads) + "/wr=" + std::to_string(ratio),
+                 r);
       }
       std::printf("\n");
     }

@@ -13,7 +13,7 @@ using namespace ermia::bench;
 namespace {
 
 void RunMix(bool hybrid, double seconds, uint32_t threads, uint32_t scale,
-            double density) {
+            double density, JsonReporter* json) {
   std::printf("\n-- %s (W=%u, %u threads) --\n",
               hybrid ? "TPC-C + Q2* (10% size)" : "TPC-C", scale, threads);
   std::vector<BenchResult> results;
@@ -33,6 +33,9 @@ void RunMix(bool hybrid, double seconds, uint32_t threads, uint32_t scale,
           return std::make_unique<tpcc::TpccWorkload>(cfg, opts);
         },
         options));
+    json->Add(std::string(hybrid ? "hybrid/" : "plain/") +
+                  CcSchemeName(scheme),
+              results.back());
   }
   std::printf("%-12s %14s %14s %14s   (commits/s)\n", "txn type", "Silo-OCC",
               "ERMIA-SI", "ERMIA-SSN");
@@ -48,14 +51,15 @@ void RunMix(bool hybrid, double seconds, uint32_t threads, uint32_t scale,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("fig02_commit_breakdown: commit rate per TPC-C txn type",
               "Figure 2 (TPC-C left, TPC-C + Q2* right)");
+  JsonReporter json(argc, argv, "fig02_commit_breakdown");
   const double seconds = EnvSeconds(0.5);
   const uint32_t threads = EnvThreads({4}).front();
   const uint32_t scale = EnvScale(std::max(2u, threads));
   const double density = EnvDensity(0.05);
-  RunMix(false, seconds, threads, scale, density);
-  RunMix(true, seconds, threads, scale, density);
+  RunMix(false, seconds, threads, scale, density, &json);
+  RunMix(true, seconds, threads, scale, density, &json);
   return 0;
 }

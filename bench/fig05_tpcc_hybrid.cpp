@@ -10,9 +10,10 @@
 using namespace ermia;
 using namespace ermia::bench;
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("fig05_tpcc_hybrid: TPC-C + Q2*, varying Q2* size",
               "Figure 5 (all three panels) + Table 1 (TPC-C-hybrid row)");
+  JsonReporter json(argc, argv, "fig05_tpcc_hybrid");
   const double seconds = EnvSeconds(0.5);
   const uint32_t threads = EnvThreads({4}).front();
   const uint32_t scale = EnvScale(std::max(2u, threads));
@@ -44,6 +45,9 @@ int main() {
       const size_t q2 = TypeIndex(r, "Q2*");
       grid[si].push_back(
           {r.tps(), r.type_tps(q2), r.per_type[q2].abort_ratio()});
+      json.Add(std::string(CcSchemeName(kAllSchemes[si])) +
+                   "/q2=" + std::to_string(size),
+               r);
     }
   }
 

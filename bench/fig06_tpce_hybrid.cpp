@@ -9,9 +9,10 @@
 using namespace ermia;
 using namespace ermia::bench;
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("fig06_tpce_hybrid: TPC-E + AssetEval, varying AssetEval size",
               "Figure 6 (all three panels) + Table 1 (TPC-E-hybrid row)");
+  JsonReporter json(argc, argv, "fig06_tpce_hybrid");
   const double seconds = EnvSeconds(0.5);
   const uint32_t threads = EnvThreads({4}).front();
   const double density = EnvDensity(0.05);
@@ -41,6 +42,9 @@ int main() {
       const size_t ae = TypeIndex(r, "AssetEval");
       grid[si].push_back(
           {r.tps(), r.type_tps(ae), r.per_type[ae].abort_ratio()});
+      json.Add(std::string(CcSchemeName(kAllSchemes[si])) +
+                   "/ae=" + std::to_string(size),
+               r);
     }
   }
 

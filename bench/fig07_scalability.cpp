@@ -11,9 +11,10 @@
 using namespace ermia;
 using namespace ermia::bench;
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("fig07_scalability: TPC-C and TPC-E thread scaling",
               "Figure 7 (TPC-C left, TPC-E right)");
+  JsonReporter json(argc, argv, "fig07_scalability");
   const double seconds = EnvSeconds(0.4);
   const std::vector<uint32_t> threads = EnvThreads({1, 2, 4});
   const double density = EnvDensity(0.05);
@@ -38,6 +39,9 @@ int main() {
           },
           options);
       std::printf(" %14.2f", r.tps() / 1000.0);
+      json.Add(std::string("tpcc/") + CcSchemeName(scheme) +
+                   "/threads=" + std::to_string(n),
+               r);
     }
     std::printf("\n");
   }
@@ -61,6 +65,9 @@ int main() {
           },
           options);
       std::printf(" %14.2f", r.tps() / 1000.0);
+      json.Add(std::string("tpce/") + CcSchemeName(scheme) +
+                   "/threads=" + std::to_string(n),
+               r);
     }
     std::printf("\n");
   }

@@ -13,7 +13,8 @@ using namespace ermia::bench;
 namespace {
 
 void RunPolicy(tpcc::PartitionPolicy policy, const char* title, double seconds,
-               const std::vector<uint32_t>& threads, double density) {
+               const std::vector<uint32_t>& threads, double density,
+               const char* label, JsonReporter* json) {
   std::printf("\n-- TPC-C, %s --\n", title);
   std::printf("%8s %14s %14s %14s   (kTps)\n", "threads", "Silo-OCC",
               "ERMIA-SI", "ERMIA-SSN");
@@ -35,6 +36,9 @@ void RunPolicy(tpcc::PartitionPolicy policy, const char* title, double seconds,
           },
           options);
       std::printf(" %14.2f", r.tps() / 1000.0);
+      json->Add(std::string(label) + "/" + CcSchemeName(scheme) +
+                    "/threads=" + std::to_string(n),
+                r);
     }
     std::printf("\n");
   }
@@ -42,15 +46,16 @@ void RunPolicy(tpcc::PartitionPolicy policy, const char* title, double seconds,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("fig08_skew: TPC-C under random and skewed warehouse access",
               "Figure 8 (uniform left, 80-20 skew right)");
+  JsonReporter json(argc, argv, "fig08_skew");
   const double seconds = EnvSeconds(0.4);
   const std::vector<uint32_t> threads = EnvThreads({1, 2, 4});
   const double density = EnvDensity(0.05);
   RunPolicy(tpcc::PartitionPolicy::kUniform, "uniformly random access",
-            seconds, threads, density);
+            seconds, threads, density, "uniform", &json);
   RunPolicy(tpcc::PartitionPolicy::kSkewed8020, "80-20 access skew", seconds,
-            threads, density);
+            threads, density, "skew8020", &json);
   return 0;
 }

@@ -12,7 +12,7 @@ using namespace ermia::bench;
 namespace {
 
 void RunSize(double size, double seconds, const std::vector<uint32_t>& threads,
-             double density) {
+             double density, JsonReporter* json) {
   std::printf("\n-- TPC-E-hybrid, AssetEval size %.0f%% --\n", size * 100);
   std::printf("%8s %14s %14s %14s   (kTps)\n", "threads", "Silo-OCC",
               "ERMIA-SI", "ERMIA-SSN");
@@ -34,6 +34,9 @@ void RunSize(double size, double seconds, const std::vector<uint32_t>& threads,
           },
           options);
       std::printf(" %14.3f", r.tps() / 1000.0);
+      json->Add(std::string(CcSchemeName(scheme)) + "/ae=" +
+                    std::to_string(size) + "/threads=" + std::to_string(n),
+                r);
     }
     std::printf("\n");
   }
@@ -41,14 +44,15 @@ void RunSize(double size, double seconds, const std::vector<uint32_t>& threads,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader(
       "fig09_tpce_hybrid_scalability: scaling under heavy read-mostly txns",
       "Figure 9 (10% AssetEval left, 60% AssetEval right)");
+  JsonReporter json(argc, argv, "fig09_tpce_hybrid_scalability");
   const double seconds = EnvSeconds(0.4);
   const std::vector<uint32_t> threads = EnvThreads({1, 2, 4});
   const double density = EnvDensity(0.05);
-  RunSize(0.10, seconds, threads, density);
-  RunSize(0.60, seconds, threads, density);
+  RunSize(0.10, seconds, threads, density, &json);
+  RunSize(0.60, seconds, threads, density, &json);
   return 0;
 }

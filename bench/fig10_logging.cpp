@@ -31,9 +31,10 @@ BenchResult RunLogMode(bool per_op, uint32_t threads, double seconds,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("fig10_logging: per-transaction vs per-operation logging",
               "Figure 10 (ERMIA-SI running TPC-C)");
+  JsonReporter json(argc, argv, "fig10_logging");
   const double seconds = EnvSeconds(0.4);
   const std::vector<uint32_t> threads = EnvThreads({1, 2, 4});
   const double density = EnvDensity(0.05);
@@ -44,6 +45,8 @@ int main() {
     BenchResult per_op = RunLogMode(true, n, seconds, density);
     std::printf("%8u %14.2f %14.2f\n", n, per_tx.tps() / 1000.0,
                 per_op.tps() / 1000.0);
+    json.Add("per_tx/threads=" + std::to_string(n), per_tx);
+    json.Add("per_op/threads=" + std::to_string(n), per_op);
   }
   return 0;
 }

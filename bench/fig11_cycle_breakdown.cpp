@@ -11,9 +11,10 @@
 using namespace ermia;
 using namespace ermia::bench;
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("fig11_cycle_breakdown: cycles per txn by component (ERMIA-SI)",
               "Figure 11");
+  JsonReporter json(argc, argv, "fig11_cycle_breakdown");
   const double seconds = EnvSeconds(0.4);
   const std::vector<uint32_t> threads = EnvThreads({1, 2, 4});
   const double density = EnvDensity(0.05);
@@ -35,6 +36,7 @@ int main() {
                                                       tpcc::TpccRunOptions{});
         },
         options);
+    json.Add("si/threads=" + std::to_string(n), r);
     const double txns =
         std::max<uint64_t>(1, r.prof.transactions);
     const double total = static_cast<double>(r.prof.total_cycles) / txns;

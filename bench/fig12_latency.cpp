@@ -13,7 +13,7 @@ using namespace ermia::bench;
 namespace {
 
 void RunSize(double size, double seconds, const std::vector<uint32_t>& threads,
-             double density) {
+             double density, JsonReporter* json) {
   std::printf("\n-- Q2* latency at %.0f%% size (ms; mean [min..max]) --\n",
               size * 100);
   std::printf("%8s %24s %24s %24s\n", "threads", "Silo-OCC", "ERMIA-SI",
@@ -38,6 +38,9 @@ void RunSize(double size, double seconds, const std::vector<uint32_t>& threads,
             return std::make_unique<tpcc::TpccWorkload>(cfg, opts);
           },
           options);
+      json->Add(std::string(CcSchemeName(scheme)) + "/q2=" +
+                    std::to_string(size) + "/threads=" + std::to_string(n),
+                r);
       const size_t q2 = TypeIndex(r, "Q2*");
       const Histogram& h = r.per_type[q2].latency;
       if (h.count() == 0) {
@@ -55,13 +58,14 @@ void RunSize(double size, double seconds, const std::vector<uint32_t>& threads,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("fig12_latency: Q2* latency under growing parallelism",
               "Figure 12 (60% size left, 80% size right)");
+  JsonReporter json(argc, argv, "fig12_latency");
   const double seconds = EnvSeconds(0.5);
   const std::vector<uint32_t> threads = EnvThreads({1, 2, 4});
   const double density = EnvDensity(0.05);
-  RunSize(0.6, seconds, threads, density);
-  RunSize(0.8, seconds, threads, density);
+  RunSize(0.6, seconds, threads, density, &json);
+  RunSize(0.8, seconds, threads, density, &json);
   return 0;
 }

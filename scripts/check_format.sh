@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# clang-format gate for the metrics layer (and anything else passed as
+# arguments). Exits non-zero if any file needs reformatting; exits 0 with a
+# notice when clang-format isn't installed so local runs on minimal boxes
+# don't fail (CI installs it).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not found; skipping" >&2
+  exit 0
+fi
+
+files=("$@")
+if [ "${#files[@]}" -eq 0 ]; then
+  mapfile -t files < <(ls src/metrics/*.h src/metrics/*.cpp)
+fi
+
+bad=0
+for f in "${files[@]}"; do
+  if ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f" >&2
+    clang-format --dry-run --Werror "$f" || true
+    bad=1
+  fi
+done
+exit "$bad"

@@ -1,12 +1,24 @@
 #!/usr/bin/env bash
 # Quick full pass: build, tests, every figure bench, every ablation.
 # Total runtime is sized for a small machine (minutes).
+# Each bench also writes machine-readable results (engine metrics included)
+# to results/<name>.json via the harness's --json flag; google-benchmark
+# ablations don't take the flag and run bare.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
+mkdir -p results
 for b in build/bench/*; do
-  echo "=== $(basename "$b") ==="
-  "$b"
+  name="$(basename "$b")"
+  echo "=== $name ==="
+  case "$name" in
+    abl_epoch|abl_index|abl_indirection|abl_log_manager)
+      "$b"
+      ;;
+    *)
+      "$b" --json "results/$name.json"
+      ;;
+  esac
 done

@@ -8,12 +8,14 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build-tsan}
 cmake -B "$BUILD_DIR" -S . -DERMIA_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j --target \
-  cc_ssn_test cc_ssn_parallel_test txn_semantics_test concurrency_test
+  cc_ssn_test cc_ssn_parallel_test txn_semantics_test concurrency_test \
+  metrics_test
 
 # tsan.supp waives only the optimistic-lock-coupling reads in the B+-tree
 # (benign by protocol: validated against the node version word and retried).
 export TSAN_OPTIONS=${TSAN_OPTIONS:-"halt_on_error=1 suppressions=$PWD/tsan.supp"}
-for t in cc_ssn_test cc_ssn_parallel_test txn_semantics_test concurrency_test; do
+for t in cc_ssn_test cc_ssn_parallel_test txn_semantics_test concurrency_test \
+         metrics_test; do
   echo "=== $t (tsan) ==="
   "$BUILD_DIR/tests/$t"
 done

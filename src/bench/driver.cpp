@@ -4,9 +4,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
+
+#include "metrics/json.h"
 
 namespace ermia {
 namespace bench {
@@ -29,12 +32,14 @@ BenchResult RunBench(Database* db, Workload* workload,
   const size_t ntypes = workload->NumTxnTypes();
   std::vector<std::vector<TxnTypeStats>> per_worker(
       options.threads, std::vector<TxnTypeStats>(ntypes));
-  std::vector<prof::Counters> prof_per_worker(options.threads);
 
   // Make sure OCC's read-only snapshot covers whatever the loader committed.
   db->RefreshOccSnapshot();
 
   prof::Enable(options.profile);
+  // Scope the engine metrics (and the profiling cycle counters they embed)
+  // to this run by diffing snapshots around it.
+  const metrics::MetricsSnapshot before = db->SnapshotMetrics();
   std::atomic<bool> start{false};
   std::atomic<bool> stop{false};
   std::atomic<uint32_t> ready{0};
@@ -62,9 +67,9 @@ BenchResult RunBench(Database* db, Workload* workload,
           stats[type].aborts++;
         }
       }
-      prof::t_counters.total_cycles = prof::Cycles() - t_begin;
-      prof_per_worker[w] = prof::t_counters;
-      prof::t_counters = prof::Counters{};
+      // Counters live in global per-slot storage (common/profiling.h); the
+      // run-scoped snapshot delta picks them up, so no per-worker merge.
+      prof::Bump(prof::MyCounters().total_cycles, prof::Cycles() - t_begin);
       ThreadRegistry::Deregister();
     });
   }
@@ -81,6 +86,7 @@ BenchResult RunBench(Database* db, Workload* workload,
 
   BenchResult result;
   result.seconds = elapsed;
+  result.threads = options.threads;
   result.per_type.resize(ntypes);
   for (size_t t = 0; t < ntypes; ++t) {
     result.type_names.push_back(workload->TxnTypeName(t));
@@ -88,10 +94,48 @@ BenchResult RunBench(Database* db, Workload* workload,
       result.per_type[t].Merge(per_worker[w][t]);
     }
   }
-  for (uint32_t w = 0; w < options.threads; ++w) {
-    result.prof.Add(prof_per_worker[w]);
-  }
+  result.engine = db->SnapshotMetrics().DeltaSince(before);
+  result.prof = result.engine.profile;
   return result;
+}
+
+JsonReporter::JsonReporter(int argc, char** argv, std::string bench_name)
+    : bench_name_(std::move(bench_name)) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      path_ = argv[i + 1];
+      break;
+    }
+  }
+}
+
+JsonReporter::~JsonReporter() {
+  if (path_.empty()) return;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "JsonReporter: cannot open %s\n", path_.c_str());
+    return;
+  }
+  std::string doc = "{\"bench\":\"";
+  doc += metrics::JsonEscape(bench_name_);
+  doc += "\",\"results\":[";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) doc += ',';
+    doc += "{\"label\":\"";
+    doc += metrics::JsonEscape(entries_[i].first);
+    doc += "\",\"result\":";
+    doc += entries_[i].second;
+    doc += '}';
+  }
+  doc += "]}\n";
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "# wrote %s\n", path_.c_str());
+}
+
+void JsonReporter::Add(const std::string& label, const BenchResult& result) {
+  if (path_.empty()) return;
+  entries_.emplace_back(label, result.ToJson());
 }
 
 double EnvSeconds(double def) {

@@ -74,6 +74,25 @@ struct ScopedDatabase {
   std::string dir;
 };
 
+// Machine-readable output for figure/ablation binaries: construct from main's
+// argv, Add() one entry per data point, and the destructor writes a single
+// JSON document {"bench": ..., "results": [...]} to the path given by
+// `--json <path>` (no-op when the flag is absent, so every binary can carry
+// one unconditionally).
+class JsonReporter {
+ public:
+  JsonReporter(int argc, char** argv, std::string bench_name);
+  ~JsonReporter();
+
+  void Add(const std::string& label, const BenchResult& result);
+  bool enabled() const { return !path_.empty(); }
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> entries_;  // label, json
+};
+
 }  // namespace bench
 }  // namespace ermia
 

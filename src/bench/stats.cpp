@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "metrics/json.h"
+
 namespace ermia {
 namespace bench {
 
@@ -31,6 +33,45 @@ std::string BenchResult::Summary() const {
                 tps(), static_cast<unsigned long long>(total_commits()),
                 static_cast<unsigned long long>(total_aborts()), seconds);
   return buf;
+}
+
+std::string BenchResult::ToJson() const {
+  metrics::JsonWriter w;
+  w.BeginObject();
+  w.Field("seconds", seconds);
+  w.Field("threads", static_cast<uint64_t>(threads));
+  w.Field("tps", tps());
+  w.Field("commits", total_commits());
+  w.Field("aborts", total_aborts());
+
+  w.Key("per_type").BeginArray();
+  for (size_t t = 0; t < per_type.size(); ++t) {
+    const TxnTypeStats& s = per_type[t];
+    w.BeginObject();
+    w.Field("name", t < type_names.size() ? type_names[t] : "");
+    w.Field("commits", s.commits);
+    w.Field("aborts", s.aborts);
+    w.Field("tps", type_tps(t));
+    w.Field("abort_ratio", s.abort_ratio());
+    w.Key("latency_us").BeginObject();
+    w.Field("count", s.latency.count());
+    w.Field("min", s.latency.min());
+    w.Field("max", s.latency.max());
+    w.Field("mean", s.latency.mean());
+    w.Field("p50", s.latency.Percentile(50.0));
+    w.Field("p90", s.latency.Percentile(90.0));
+    w.Field("p99", s.latency.Percentile(99.0));
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  // Splice in the engine metrics delta (already a JSON object).
+  std::string out = w.Take();
+  out += ",\"engine\":";
+  out += engine.ToJson();
+  out += "}";
+  return out;
 }
 
 }  // namespace bench

@@ -12,6 +12,7 @@
 
 #include "common/histogram.h"
 #include "common/profiling.h"
+#include "metrics/metrics.h"
 
 namespace ermia {
 namespace bench {
@@ -36,8 +37,12 @@ struct TxnTypeStats {
 
 struct BenchResult {
   double seconds = 0;
+  uint32_t threads = 0;
   std::vector<std::string> type_names;
   std::vector<TxnTypeStats> per_type;
+  // Run-scoped delta of the engine metrics snapshot (abort reasons, log
+  // flush histograms, GC counters, ...); filled by RunBench.
+  metrics::MetricsSnapshot engine;
   prof::Counters prof;
 
   uint64_t total_commits() const;
@@ -47,6 +52,10 @@ struct BenchResult {
 
   // One-line summary: "total_tps commits aborts".
   std::string Summary() const;
+
+  // Full machine-readable dump: per-type tps/abort-ratio/latency
+  // percentiles plus the embedded engine metrics delta.
+  std::string ToJson() const;
 };
 
 }  // namespace bench

@@ -105,6 +105,7 @@ Status Transaction::OccCommit() {
   for (auto& w : write_set_) {
     if (w.installed) continue;  // inserts and own-chained updates
     if (!w.table->array().CasHead(w.oid, w.prev, w.version)) {
+      MarkAbort(metrics::AbortReason::kOccWriteWrite);
       Abort();
       return Status::Conflict("occ write-write (install)");
     }
@@ -134,10 +135,14 @@ Status Transaction::OccCommit() {
   }
   Status failure;
   if (!valid) {
+    MarkAbort(metrics::AbortReason::kOccReadValidation);
     failure = Status::Aborted("occ read validation");
   } else {
     Status ns = NodeSetValidate();
-    if (!ns.ok()) failure = ns;
+    if (!ns.ok()) {
+      MarkAbort(metrics::AbortReason::kPhantom);
+      failure = ns;
+    }
   }
   if (!failure.ok()) {
     db_->log().InstallSkip(clsn, BlockSizeForStaging());

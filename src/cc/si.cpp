@@ -60,6 +60,7 @@ Status Transaction::SiRead(Table* table, Oid oid, Slice* value) {
     SsnOnRead(v);
     if (SsnExclusionViolated()) {
       // Doomed: give the caller the early-out the paper argues for.
+      MarkAbort(metrics::AbortReason::kSsnExclusionRead);
       return Status::Aborted("ssn exclusion window (early)");
     }
   }
@@ -95,12 +96,14 @@ Status Transaction::SiUpdate(Table* table, Oid oid, const Slice& value,
             // An uncommitted head acts as a write lock: the paper's
             // first-updater-wins rule dooms us immediately, minimizing
             // wasted work (§3.6.1).
+            MarkAbort(metrics::AbortReason::kSiFirstUpdaterWins);
             return Status::Conflict("uncommitted head (first-updater-wins)");
           }
         }
         // Updating our own head: chain a fresh version on top.
       } else {
         if (Lsn(s).offset() >= begin_) {
+          MarkAbort(metrics::AbortReason::kSiSnapshotOverwrite);
           return Status::Conflict("overwritten since snapshot");
         }
         prev_committed = head;

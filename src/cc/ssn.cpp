@@ -135,6 +135,7 @@ Status Transaction::SsnOnUpdate(Version* prev) {
   if (!IsTidStamp(s)) AtomicMax(ctx_->pstamp, s);
   AtomicMax(ctx_->pstamp, prev->pstamp.load(std::memory_order_acquire));
   if (SsnExclusionViolated()) {
+    MarkAbort(metrics::AbortReason::kSsnExclusionUpdate);
     return Status::Aborted("ssn exclusion window (update)");
   }
   return Status::OK();
@@ -256,6 +257,7 @@ void Transaction::SsnPublishStamps(uint64_t cstamp, uint64_t pstamp,
 Status Transaction::SsnCommit() {
   Status ns = NodeSetValidate();
   if (!ns.ok()) {
+    MarkAbort(metrics::AbortReason::kPhantom);
     Abort();
     return ns;
   }
@@ -284,37 +286,44 @@ Status Transaction::SsnCommit() {
   ctx_->cstamp.store(cstamp, std::memory_order_release);
 
   bool pass;
-  if (db_->config().ssn_parallel_commit) {
-    const uint64_t sstamp = SsnFinalizeSstamp(cstamp);
-    const uint64_t pstamp = SsnFinalizePstamp(cstamp);
-    pass = sstamp > pstamp;  // exclusion window: π(T) <= η(T) forbidden
-    if (pass) SsnPublishStamps(cstamp, pstamp, sstamp);
-  } else {
-    // Legacy serial finalization: test + publication under one global latch,
-    // correct by arrival order (the later arriver sees the earlier one's
-    // published stamps; in-flight TID commit words are skipped because their
-    // owners have not published yet and will see ours when they do).
-    SpinLatchGuard g(g_ssn_legacy_serial_latch);
-    uint64_t pstamp = ctx_->pstamp.load(std::memory_order_relaxed);
-    for (const auto& w : write_set_) {
-      if (w.prev != nullptr) {
-        pstamp =
-            std::max(pstamp, w.prev->pstamp.load(std::memory_order_acquire));
+  {
+    // Certification (stamp finalization + exclusion test + publication) is
+    // the CC component of the Fig. 11 cycle breakdown.
+    ERMIA_PROF_CC();
+    if (db_->config().ssn_parallel_commit) {
+      const uint64_t sstamp = SsnFinalizeSstamp(cstamp);
+      const uint64_t pstamp = SsnFinalizePstamp(cstamp);
+      pass = sstamp > pstamp;  // exclusion window: π(T) <= η(T) forbidden
+      if (pass) SsnPublishStamps(cstamp, pstamp, sstamp);
+    } else {
+      // Legacy serial finalization: test + publication under one global
+      // latch, correct by arrival order (the later arriver sees the earlier
+      // one's published stamps; in-flight TID commit words are skipped
+      // because their owners have not published yet and will see ours when
+      // they do).
+      SpinLatchGuard g(g_ssn_legacy_serial_latch);
+      uint64_t pstamp = ctx_->pstamp.load(std::memory_order_relaxed);
+      for (const auto& w : write_set_) {
+        if (w.prev != nullptr) {
+          pstamp =
+              std::max(pstamp, w.prev->pstamp.load(std::memory_order_acquire));
+        }
       }
-    }
-    uint64_t sstamp =
-        std::min(ctx_->sstamp.load(std::memory_order_relaxed), cstamp);
-    for (const auto& r : read_set_) {
-      const uint64_t vs = r.version->sstamp.load(std::memory_order_acquire);
-      if (vs != kInfinityStamp && !IsTidStamp(vs)) {
-        sstamp = std::min(sstamp, vs);
+      uint64_t sstamp =
+          std::min(ctx_->sstamp.load(std::memory_order_relaxed), cstamp);
+      for (const auto& r : read_set_) {
+        const uint64_t vs = r.version->sstamp.load(std::memory_order_acquire);
+        if (vs != kInfinityStamp && !IsTidStamp(vs)) {
+          sstamp = std::min(sstamp, vs);
+        }
       }
+      pass = sstamp > pstamp;
+      if (pass) SsnPublishStamps(cstamp, pstamp, sstamp);
     }
-    pass = sstamp > pstamp;
-    if (pass) SsnPublishStamps(cstamp, pstamp, sstamp);
   }
 
   if (!pass) {
+    MarkAbort(metrics::AbortReason::kSsnExclusionCommit);
     if (has_writes) {
       db_->log().InstallSkip(clsn, BlockSizeForStaging());
       // Reuse the abort path for unlinking; the reservation is now a skip.

@@ -23,6 +23,7 @@ Status Transaction::TplAcquire(Table* table, Oid oid, bool exclusive) {
   if (it != held_locks_.end()) {
     if (!exclusive || it->second) return Status::OK();  // already sufficient
     if (!locks.TryUpgrade(table->fid(), oid)) {
+      MarkAbort(metrics::AbortReason::kTplNoWait);
       return Status::Conflict("2pl upgrade timeout");
     }
     it->second = true;
@@ -31,6 +32,7 @@ Status Transaction::TplAcquire(Table* table, Oid oid, bool exclusive) {
   const auto mode = exclusive ? RecordLockTable::Mode::kExclusive
                               : RecordLockTable::Mode::kShared;
   if (!locks.TryAcquire(table->fid(), oid, mode)) {
+    MarkAbort(metrics::AbortReason::kTplNoWait);
     return Status::Conflict("2pl lock timeout");
   }
   held_locks_.emplace(key, exclusive);
@@ -76,6 +78,7 @@ Status Transaction::TplUpdate(Table* table, Oid oid, const Slice& value,
     if (!table->array().CasHead(oid, head, nv)) {
       // Racing non-2PL transaction (mixed-scheme use); treat as conflict.
       Version::Free(nv);
+      MarkAbort(metrics::AbortReason::kTplNoWait);
       return Status::Conflict("2pl install race");
     }
   }
@@ -94,6 +97,7 @@ Status Transaction::TplCommit() {
   // locking would be the classic alternative; the paper names both, §3.6.2).
   Status ns = NodeSetValidate();
   if (!ns.ok()) {
+    MarkAbort(metrics::AbortReason::kPhantom);
     Abort();
     return ns;
   }

@@ -1,14 +1,27 @@
 // Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
 //
 // Lightweight per-thread cycle accounting for the Fig. 11 component
-// breakdown (index vs indirection arrays vs log manager vs other). Disabled
-// by default; when enabled the engine brackets its hot sections with
-// ScopedCycleTimer. Counters are thread-local and merged by the harness.
+// breakdown (index vs indirection arrays vs log manager vs CC certification
+// vs other). Disabled by default; when enabled the engine brackets its hot
+// sections with ScopedCycleTimer.
+//
+// Counters live in a process-global array indexed by ThreadRegistry slot
+// (single writer per slot — the thread that owns the slot), so any reader
+// can aggregate them with SnapshotAll() without per-worker hand-merging.
+// This is how metrics::MetricsSnapshot picks them up as a first-class
+// metrics source; consumers diff two SnapshotAll() results to scope a run.
+// Slot fields are relaxed atomics, same as the metrics shards: the owning
+// thread bumps with a relaxed load+store (no RMW — it is the only writer),
+// and SnapshotAll() takes relaxed loads. There is still no consistent cut
+// across fields, which is fine at Fig. 11 granularity, but each individual
+// read is untorn and race-free (the metrics Reporter snapshots live).
 #ifndef ERMIA_COMMON_PROFILING_H_
 #define ERMIA_COMMON_PROFILING_H_
 
 #include <atomic>
 #include <cstdint>
+
+#include "common/sysconf.h"
 
 #if defined(__x86_64__)
 #include <x86intrin.h>
@@ -29,11 +42,13 @@ inline uint64_t Cycles() {
 #endif
 }
 
+// Plain value type: what SnapshotAll() returns and what consumers diff.
 struct Counters {
   uint64_t index_cycles = 0;
   uint64_t indirection_cycles = 0;
   uint64_t log_cycles = 0;
   uint64_t epoch_cycles = 0;
+  uint64_t cc_cycles = 0;  // commit certification (SSN finalize/publish)
   uint64_t total_cycles = 0;
   uint64_t transactions = 0;
 
@@ -42,8 +57,20 @@ struct Counters {
     indirection_cycles += o.indirection_cycles;
     log_cycles += o.log_cycles;
     epoch_cycles += o.epoch_cycles;
+    cc_cycles += o.cc_cycles;
     total_cycles += o.total_cycles;
     transactions += o.transactions;
+  }
+
+  // Componentwise difference (for run-scoped deltas of SnapshotAll()).
+  void Sub(const Counters& o) {
+    index_cycles -= o.index_cycles;
+    indirection_cycles -= o.indirection_cycles;
+    log_cycles -= o.log_cycles;
+    epoch_cycles -= o.epoch_cycles;
+    cc_cycles -= o.cc_cycles;
+    total_cycles -= o.total_cycles;
+    transactions -= o.transactions;
   }
 };
 
@@ -53,32 +80,78 @@ inline std::atomic<bool> g_enabled{false};
 inline bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
 inline void Enable(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
 
-// Per-thread counters; the harness reads and resets them between runs.
-inline thread_local Counters t_counters;
+// Per-thread storage: atomic mirror of Counters, cache-line padded so a
+// hot slot never false-shares with its neighbor.
+struct alignas(64) Slot {
+  std::atomic<uint64_t> index_cycles{0};
+  std::atomic<uint64_t> indirection_cycles{0};
+  std::atomic<uint64_t> log_cycles{0};
+  std::atomic<uint64_t> epoch_cycles{0};
+  std::atomic<uint64_t> cc_cycles{0};
+  std::atomic<uint64_t> total_cycles{0};
+  std::atomic<uint64_t> transactions{0};
+};
+
+// Single-writer relaxed increment: the slot owner is the only writer, so a
+// load+store pair is exact without the cost of an atomic RMW.
+inline void Bump(std::atomic<uint64_t>& c, uint64_t v) {
+  c.store(c.load(std::memory_order_relaxed) + v, std::memory_order_relaxed);
+}
+
+// Per-thread slots; slot i is written only by the thread currently holding
+// ThreadRegistry id i. Never reset — consumers take deltas, so recycled
+// slots stay monotone across thread churn.
+inline Slot g_thread_counters[kMaxThreads];
+
+inline Slot& MyCounters() {
+  return g_thread_counters[ThreadRegistry::MyId()];
+}
+
+// Sums every slot with relaxed loads (see file comment on read semantics).
+inline Counters SnapshotAll() {
+  Counters sum;
+  for (uint32_t i = 0; i < kMaxThreads; ++i) {
+    const Slot& s = g_thread_counters[i];
+    sum.index_cycles += s.index_cycles.load(std::memory_order_relaxed);
+    sum.indirection_cycles +=
+        s.indirection_cycles.load(std::memory_order_relaxed);
+    sum.log_cycles += s.log_cycles.load(std::memory_order_relaxed);
+    sum.epoch_cycles += s.epoch_cycles.load(std::memory_order_relaxed);
+    sum.cc_cycles += s.cc_cycles.load(std::memory_order_relaxed);
+    sum.total_cycles += s.total_cycles.load(std::memory_order_relaxed);
+    sum.transactions += s.transactions.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
 
 class ScopedCycleTimer {
  public:
-  explicit ScopedCycleTimer(uint64_t* acc)
-      : acc_(Enabled() ? acc : nullptr), start_(acc_ ? Cycles() : 0) {}
+  explicit ScopedCycleTimer(std::atomic<uint64_t> Slot::* field)
+      : field_(Enabled() ? field : nullptr), start_(field_ ? Cycles() : 0) {}
   ~ScopedCycleTimer() {
-    if (acc_ != nullptr) *acc_ += Cycles() - start_;
+    if (field_ != nullptr) Bump(MyCounters().*field_, Cycles() - start_);
   }
 
  private:
-  uint64_t* acc_;
+  std::atomic<uint64_t> Slot::* field_;
   uint64_t start_;
 };
 
-#define ERMIA_PROF_INDEX() \
-  ::ermia::prof::ScopedCycleTimer _pt_idx(&::ermia::prof::t_counters.index_cycles)
-#define ERMIA_PROF_INDIRECTION()  \
-  ::ermia::prof::ScopedCycleTimer \
-      _pt_ind(&::ermia::prof::t_counters.indirection_cycles)
-#define ERMIA_PROF_LOG() \
-  ::ermia::prof::ScopedCycleTimer _pt_log(&::ermia::prof::t_counters.log_cycles)
-#define ERMIA_PROF_EPOCH()        \
-  ::ermia::prof::ScopedCycleTimer \
-      _pt_epoch(&::ermia::prof::t_counters.epoch_cycles)
+#define ERMIA_PROF_INDEX()             \
+  ::ermia::prof::ScopedCycleTimer _pt_idx( \
+      &::ermia::prof::Slot::index_cycles)
+#define ERMIA_PROF_INDIRECTION()       \
+  ::ermia::prof::ScopedCycleTimer _pt_ind( \
+      &::ermia::prof::Slot::indirection_cycles)
+#define ERMIA_PROF_LOG()               \
+  ::ermia::prof::ScopedCycleTimer _pt_log( \
+      &::ermia::prof::Slot::log_cycles)
+#define ERMIA_PROF_EPOCH()             \
+  ::ermia::prof::ScopedCycleTimer _pt_epoch( \
+      &::ermia::prof::Slot::epoch_cycles)
+#define ERMIA_PROF_CC()                \
+  ::ermia::prof::ScopedCycleTimer _pt_cc( \
+      &::ermia::prof::Slot::cc_cycles)
 
 }  // namespace prof
 }  // namespace ermia

@@ -82,6 +82,14 @@ struct EngineConfig {
   // copied"). 0 disables the daemon; checkpoints can still be taken
   // explicitly via Database::TakeCheckpoint().
   uint64_t checkpoint_interval_ms = 0;
+
+  // Metrics reporter daemon: every interval, emit a JSON-lines delta of the
+  // engine metrics snapshot. 0 disables the daemon (the registry itself is
+  // always on and queryable via Database::SnapshotMetrics()).
+  uint64_t metrics_report_interval_ms = 0;
+
+  // Destination for reporter output; empty = stderr.
+  std::string metrics_report_path;
 };
 
 }  // namespace ermia

@@ -5,10 +5,19 @@
 namespace ermia {
 
 Database::Database(EngineConfig config)
-    : config_(std::move(config)), log_(config_) {
-  gc_ = std::make_unique<GarbageCollector>(&gc_epoch_, [this] {
-    return tids_.OldestActiveBegin(log_.CurrentOffset());
-  });
+    : config_(std::move(config)), log_(config_, &metrics_) {
+  gc_epoch_.set_metrics(&metrics_);
+  rcu_epoch_.set_metrics(&metrics_);
+  tid_epoch_.set_metrics(&metrics_);
+  gc_ = std::make_unique<GarbageCollector>(
+      &gc_epoch_,
+      [this] { return tids_.OldestActiveBegin(log_.CurrentOffset()); },
+      &metrics_);
+  if (config_.metrics_report_interval_ms > 0) {
+    reporter_ = std::make_unique<metrics::Reporter>(
+        [this] { return SnapshotMetrics(); },
+        config_.metrics_report_interval_ms, config_.metrics_report_path);
+  }
 }
 
 Database::~Database() { Close(); }
@@ -46,6 +55,7 @@ Status Database::Open() {
       ThreadRegistry::Deregister();
     });
   }
+  if (reporter_ != nullptr) reporter_->Start();
   open_ = true;
   return Status::OK();
 }
@@ -55,12 +65,14 @@ void Database::Close() {
   stop_daemons_.store(true);
   if (snapshot_daemon_.joinable()) snapshot_daemon_.join();
   if (checkpoint_daemon_.joinable()) checkpoint_daemon_.join();
+  if (reporter_ != nullptr) reporter_->Stop();
   gc_->Stop();
   log_.Close();
   open_ = false;
 }
 
 Table* Database::CreateTable(const std::string& name) {
+  SpinLatchGuard g(catalog_latch_);
   ERMIA_CHECK(tables_by_name_.find(name) == tables_by_name_.end());
   const Fid fid = static_cast<Fid>(by_fid_.size() + 1);
   auto table = std::make_unique<Table>(fid, name);
@@ -74,6 +86,7 @@ Table* Database::CreateTable(const std::string& name) {
 }
 
 Index* Database::CreateIndex(Table* table, const std::string& name) {
+  SpinLatchGuard g(catalog_latch_);
   ERMIA_CHECK(indexes_by_name_.find(name) == indexes_by_name_.end());
   const Fid fid = static_cast<Fid>(by_fid_.size() + 1);
   auto index = std::make_unique<Index>(fid, name, table);
@@ -104,18 +117,64 @@ Table* Database::TableByFid(Fid fid) const {
 }
 
 DatabaseStats Database::GetStats() const {
+  // See the DatabaseStats comment for snapshot semantics: per-counter
+  // monotone, not a consistent cut. Counters available in the sharded
+  // registry come from one metrics snapshot so that e.g.
+  // gc_versions_reclaimed here always agrees with the same snapshot's
+  // kGcVersionsReclaimed (both are fed from GarbageCollector::RunOnce).
+  const metrics::MetricsSnapshot m = SnapshotMetrics();
   DatabaseStats s;
   s.log_current_offset = log_.CurrentOffset();
   s.log_durable_offset = log_.DurableOffset();
+  s.log_flushes = m.counter(metrics::Ctr::kLogFlushes);
+  s.log_flushed_bytes = m.counter(metrics::Ctr::kLogFlushedBytes);
+  s.log_blocks_installed = m.counter(metrics::Ctr::kLogBlocksInstalled);
   s.log_skip_blocks = log_.skip_blocks();
   s.log_dead_zone_bytes = log_.dead_zone_bytes();
   s.log_segment_rotations = log_.segment_rotations();
+  s.txn_commits = m.counter(metrics::Ctr::kTxnCommits);
+  s.txn_aborts = m.aborts_total();
+  s.gc_passes = m.counter(metrics::Ctr::kGcPasses);
   s.gc_versions_reclaimed = gc_->total_reclaimed();
+  s.epoch_advances = m.counter(metrics::Ctr::kEpochAdvances);
+  s.tid_active_txns = m.counter(metrics::Ctr::kTidActiveTxns);
+  s.tid_occupancy_hwm = m.counter(metrics::Ctr::kTidOccupancyHwm);
+  s.index_node_splits = m.counter(metrics::Ctr::kIndexNodeSplits);
+  s.index_read_retries = m.counter(metrics::Ctr::kIndexReadRetries);
   s.occ_snapshot_offset = occ_snapshot_.load(std::memory_order_acquire);
   s.checkpoints_taken = checkpoints_taken_.load(std::memory_order_relaxed);
-  s.num_tables = table_list_.size();
-  s.num_indexes = index_list_.size();
+  {
+    SpinLatchGuard g(catalog_latch_);
+    s.num_tables = table_list_.size();
+    s.num_indexes = index_list_.size();
+  }
   return s;
+}
+
+metrics::MetricsSnapshot Database::SnapshotMetrics() const {
+  metrics::MetricsSnapshot snap = metrics_.Snapshot();
+  // Overlay the sampled gauges (see Ctr::kFirstSampledGauge).
+  uint64_t splits = 0;
+  uint64_t retries = 0;
+  {
+    // The Reporter daemon snapshots while the application may still be
+    // creating schema; the latch pins the index list for the walk.
+    SpinLatchGuard g(catalog_latch_);
+    for (const Index* idx : index_list_) {
+      splits += idx->tree().splits();
+      retries += idx->tree().read_retries();
+    }
+  }
+  auto set = [&snap](metrics::Ctr c, uint64_t v) {
+    snap.counters[static_cast<size_t>(c)] = v;
+  };
+  set(metrics::Ctr::kIndexNodeSplits, splits);
+  set(metrics::Ctr::kIndexReadRetries, retries);
+  set(metrics::Ctr::kTidOccupancyHwm, tids_.OccupancyHighWaterMark());
+  set(metrics::Ctr::kTidActiveTxns, tids_.ActiveCount());
+  set(metrics::Ctr::kEpochBoundaryLag,
+      gc_epoch_.current() - gc_epoch_.ReclaimBoundary());
+  return snap;
 }
 
 Index* Database::IndexByFid(Fid fid) const {

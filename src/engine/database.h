@@ -17,10 +17,13 @@
 #include "cc/lock_manager.h"
 #include "cc/ssn_readers.h"
 #include "common/macros.h"
+#include "common/spin_latch.h"
 #include "common/status.h"
 #include "common/sysconf.h"
 #include "epoch/epoch_manager.h"
 #include "log/log_manager.h"
+#include "metrics/metrics.h"
+#include "metrics/reporter.h"
 #include "storage/gc.h"
 #include "storage/table.h"
 #include "txn/tid_manager.h"
@@ -29,13 +32,34 @@
 namespace ermia {
 
 // Aggregate engine counters for monitoring and tests.
+//
+// Snapshot semantics: every field is read with relaxed (or acquire, for log
+// offsets) loads and no cross-field synchronization. Each individual counter
+// is monotonically non-decreasing across successive GetStats() calls, and its
+// value lies between the true value at the start and at the end of the call —
+// but the struct as a whole is NOT a consistent cut: two counters bumped by
+// one event (e.g. a flush advancing both log_flushes and log_durable_offset)
+// may disagree by in-flight increments. Counters sourced from the sharded
+// metrics registry (aborts, flushes, gc_versions_reclaimed) follow the same
+// per-counter-monotone contract; see src/metrics/metrics.h.
 struct DatabaseStats {
   uint64_t log_current_offset = 0;
   uint64_t log_durable_offset = 0;
+  uint64_t log_flushes = 0;
+  uint64_t log_flushed_bytes = 0;
+  uint64_t log_blocks_installed = 0;
   uint64_t log_skip_blocks = 0;
   uint64_t log_dead_zone_bytes = 0;
   uint64_t log_segment_rotations = 0;
+  uint64_t txn_commits = 0;
+  uint64_t txn_aborts = 0;
+  uint64_t gc_passes = 0;
   uint64_t gc_versions_reclaimed = 0;
+  uint64_t epoch_advances = 0;
+  uint64_t tid_active_txns = 0;      // gauge, not monotone
+  uint64_t tid_occupancy_hwm = 0;
+  uint64_t index_node_splits = 0;
+  uint64_t index_read_retries = 0;
   uint64_t occ_snapshot_offset = 0;
   uint64_t checkpoints_taken = 0;
   size_t num_tables = 0;
@@ -55,7 +79,9 @@ class Database {
   // ---- catalog ----
   // Schema creation is single-threaded (startup/recovery time). FIDs are
   // assigned in creation order, so re-creating the same schema in the same
-  // order before Recover() reproduces the FID mapping.
+  // order before Recover() reproduces the FID mapping. Creation does take
+  // catalog_latch_, though: the metrics Reporter daemon may snapshot (and so
+  // walk the index list) while the application is still creating schema.
   Table* CreateTable(const std::string& name);
   Index* CreateIndex(Table* table, const std::string& name);
   Table* GetTable(const std::string& name) const;
@@ -78,6 +104,14 @@ class Database {
 
   // ---- introspection ----
   DatabaseStats GetStats() const;
+
+  // Full metrics snapshot: sharded counters/histograms summed with relaxed
+  // loads, profiling cycles, and point-in-time gauges (index splits, TID
+  // occupancy, epoch boundary lag) overlaid. Same per-counter-monotone,
+  // no-consistent-cut contract as GetStats().
+  metrics::MetricsSnapshot SnapshotMetrics() const;
+
+  metrics::EngineMetrics& metrics() { return metrics_; }
 
   // ---- physical layer access ----
   LogManager& log() { return log_; }
@@ -103,6 +137,9 @@ class Database {
   friend class Transaction;
 
   EngineConfig config_;
+  // Declared before every subsystem that holds a pointer into it (log_, gc_,
+  // epoch managers) so it outlives them on destruction.
+  metrics::EngineMetrics metrics_;
   LogManager log_;
   TidManager tids_;
   // SSN parallel commit: maps Version::readers bitmap slots to reader TIDs so
@@ -114,7 +151,14 @@ class Database {
   EpochManager rcu_epoch_;  // structure memory (medium timescale)
   EpochManager tid_epoch_;  // TID-table generations (fine timescale)
   std::unique_ptr<GarbageCollector> gc_;
+  std::unique_ptr<metrics::Reporter> reporter_;  // opt-in via config
 
+  // Guards the catalog vectors/maps below against the one legal concurrency:
+  // schema creation racing an engine-internal stats snapshot (Reporter
+  // daemon, GetStats from another thread). Worker-side lookups (GetTable,
+  // TableByFid) stay latch-free under the documented contract that schema is
+  // complete before transactions start.
+  mutable SpinLatch catalog_latch_;
   std::vector<std::unique_ptr<Table>> tables_;
   std::vector<std::unique_ptr<Index>> indexes_;
   std::vector<Table*> table_list_;

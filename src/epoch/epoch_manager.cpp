@@ -67,11 +67,13 @@ Epoch EpochManager::ReclaimBoundary() const {
 }
 
 Epoch EpochManager::Advance() {
+  if (metrics_ != nullptr) metrics_->Inc(metrics::Ctr::kEpochAdvances);
   return epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
 }
 
 void EpochManager::Defer(std::function<void()> cleanup) {
   const Epoch e = epoch_.load(std::memory_order_acquire);
+  if (metrics_ != nullptr) metrics_->Inc(metrics::Ctr::kEpochDeferredEnqueued);
   SpinLatchGuard g(deferred_latch_);
   deferred_.push_back({e, std::move(cleanup)});
 }
@@ -79,6 +81,7 @@ void EpochManager::Defer(std::function<void()> cleanup) {
 size_t EpochManager::RunReclaimers() {
   const Epoch boundary = ReclaimBoundary();
   std::vector<Deferred> ready;
+  size_t still_pending = 0;
   {
     SpinLatchGuard g(deferred_latch_);
     auto split = std::partition(
@@ -87,8 +90,19 @@ size_t EpochManager::RunReclaimers() {
     ready.assign(std::make_move_iterator(split),
                  std::make_move_iterator(deferred_.end()));
     deferred_.erase(split, deferred_.end());
+    still_pending = deferred_.size();
   }
   for (auto& d : ready) d.cleanup();
+  if (metrics_ != nullptr) {
+    if (!ready.empty()) {
+      metrics_->Inc(metrics::Ctr::kEpochDeferredExecuted, ready.size());
+      metrics_->Observe(metrics::Hist::kEpochReclaimBatch, ready.size());
+    } else if (still_pending > 0) {
+      // Work is queued but a straggler (an active thread still in an old
+      // epoch) holds the reclaim boundary back.
+      metrics_->Inc(metrics::Ctr::kEpochStragglerStalls);
+    }
+  }
   return ready.size();
 }
 

@@ -26,6 +26,7 @@
 #include "common/macros.h"
 #include "common/spin_latch.h"
 #include "common/sysconf.h"
+#include "metrics/metrics.h"
 
 namespace ermia {
 
@@ -76,6 +77,10 @@ class EpochManager {
   // Number of threads currently marked active (diagnostics/tests).
   uint32_t ActiveThreads() const;
 
+  // Optional telemetry sink shared by all timescales (nullable; set once at
+  // engine construction, before any daemon runs).
+  void set_metrics(metrics::EngineMetrics* m) { metrics_ = m; }
+
  private:
   struct alignas(kCacheLineSize) ThreadState {
     std::atomic<Epoch> entered{0};
@@ -89,6 +94,7 @@ class EpochManager {
 
   ThreadState threads_[kMaxThreads];
   std::atomic<Epoch> epoch_{2};  // start >= 2 so boundary never underflows
+  metrics::EngineMetrics* metrics_ = nullptr;
 
   SpinLatch deferred_latch_;
   std::vector<Deferred> deferred_;

@@ -173,6 +173,7 @@ void BTree::SplitChild(InnerNode* parent, int child_idx, Node* child) {
   parent->keys[child_idx] = sep;
   parent->children[child_idx + 1].store(sibling, std::memory_order_release);
   parent->count++;
+  splits_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void BTree::SplitRoot() {
@@ -298,6 +299,7 @@ BTree::LeafNode* BTree::DescendToLeaf(const Slice& key,
       v = cv;
     }
     if (restart) {
+      read_retries_.fetch_add(1, std::memory_order_relaxed);
       backoff.Pause();
       continue;
     }
@@ -316,6 +318,7 @@ bool BTree::Lookup(const Slice& key, Oid* oid, NodeHandle* handle) const {
     const Oid value =
         found ? leaf->values[pos].load(std::memory_order_relaxed) : 0;
     if (!Validate(leaf, v)) {
+      read_retries_.fetch_add(1, std::memory_order_relaxed);
       backoff.Pause();
       continue;
     }
@@ -363,6 +366,7 @@ restart:
           count > 0 && !hi.empty() && hi.compare(leaf->keys[count - 1].slice()) < 0;
       LeafNode* next = leaf->next.load(std::memory_order_acquire);
       if (!Validate(leaf, v)) {
+        read_retries_.fetch_add(1, std::memory_order_relaxed);
         backoff.Pause();
         goto restart;
       }

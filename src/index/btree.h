@@ -75,6 +75,13 @@ class BTree {
   // Number of keys currently stored (O(n); for tests and diagnostics).
   size_t Size() const;
 
+  // Monotone structural-activity counters (relaxed; sampled into the engine
+  // metrics snapshot as gauges).
+  uint64_t splits() const { return splits_.load(std::memory_order_relaxed); }
+  uint64_t read_retries() const {
+    return read_retries_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Node;
   struct InnerNode;
@@ -91,6 +98,11 @@ class BTree {
   void SplitRoot();
   Node* AllocInner();
   Node* AllocLeaf();
+
+  // Split count (all splits funnel through SplitChild) and optimistic-read
+  // restarts (version validation failed; reader re-descended).
+  mutable std::atomic<uint64_t> splits_{0};
+  mutable std::atomic<uint64_t> read_retries_{0};
 
   std::atomic<Node*> root_;
   // Guards root replacement; splits elsewhere use per-node locks only.

@@ -20,8 +20,10 @@ constexpr uint64_t kLogAlign = sizeof(LogBlockHeader);  // 32
 uint64_t AlignUp(uint64_t n) { return (n + kLogAlign - 1) & ~(kLogAlign - 1); }
 }  // namespace
 
-LogManager::LogManager(const EngineConfig& config)
+LogManager::LogManager(const EngineConfig& config,
+                       metrics::EngineMetrics* metrics)
     : config_(config),
+      metrics_(metrics),
       ring_(config.log_buffer_size),
       tracker_(kLogStartOffset) {
   ERMIA_CHECK((config.log_buffer_size & (config.log_buffer_size - 1)) == 0);
@@ -182,6 +184,9 @@ const LogSegment* LogManager::PlaceBlock(uint64_t offset, uint32_t size) {
     } else {
       tracker_.MarkHole(c.begin, c.end);
       dead_zone_bytes_.fetch_add(c.end - c.begin, std::memory_order_relaxed);
+      if (metrics_ != nullptr) {
+        metrics_->Inc(metrics::Ctr::kLogDeadZoneBytes, c.end - c.begin);
+      }
     }
   }
   flush_cv_.notify_one();
@@ -202,6 +207,7 @@ const LogSegment* LogManager::OpenSegmentAt(uint64_t start) {
   segments_.push_back(std::move(seg));
   latest_segment_.store(raw, std::memory_order_release);
   rotations_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_ != nullptr) metrics_->Inc(metrics::Ctr::kLogSegmentRotations);
   return raw;
 }
 
@@ -223,6 +229,7 @@ void LogManager::WriteSkip(const LogSegment* seg, uint64_t offset,
   tracker_.MarkData(offset, offset + sizeof hdr);
   if (size > sizeof hdr) tracker_.MarkHole(offset + sizeof hdr, offset + size);
   skip_blocks_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_ != nullptr) metrics_->Inc(metrics::Ctr::kLogSkipBlocks);
 }
 
 void LogManager::InstallBlock(Lsn lsn, const void* block, uint32_t size) {
@@ -236,6 +243,7 @@ void LogManager::InstallBlock(Lsn lsn, const void* block, uint32_t size) {
     ring_.Write(off + size, kZeros, asize - size);
   }
   tracker_.MarkData(off, off + asize);
+  if (metrics_ != nullptr) metrics_->Inc(metrics::Ctr::kLogBlocksInstalled);
   // No wakeup here: the flusher polls on a 1ms tick (group commit), so the
   // common commit path stays syscall-free. Waiters (synchronous commits,
   // buffer backpressure) nudge the flusher themselves.
@@ -274,11 +282,21 @@ void LogManager::WaitForBufferSpace(uint64_t end_offset) {
 
 void LogManager::WaitForDurable(uint64_t offset) {
   if (durable_offset_.load(std::memory_order_acquire) >= offset) return;
-  std::unique_lock<std::mutex> lk(flush_mu_);
-  flush_cv_.notify_all();
-  durable_cv_.wait(lk, [&] {
-    return durable_offset_.load(std::memory_order_acquire) >= offset;
-  });
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lk(flush_mu_);
+    flush_cv_.notify_all();
+    durable_cv_.wait(lk, [&] {
+      return durable_offset_.load(std::memory_order_acquire) >= offset;
+    });
+  }
+  if (metrics_ != nullptr) {
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    metrics_->Observe(metrics::Hist::kLogCommitWaitUs,
+                      static_cast<uint64_t>(us));
+  }
 }
 
 void LogManager::FlusherLoop() {
@@ -289,12 +307,14 @@ void LogManager::FlusherLoop() {
     }
     FlushOnce();
   }
+  ThreadRegistry::Deregister();
 }
 
 void LogManager::FlushOnce() {
   const uint64_t target = tracker_.complete_until();
   const uint64_t durable = durable_offset_.load(std::memory_order_acquire);
   if (target <= durable) return;
+  const auto t0 = std::chrono::steady_clock::now();
   auto ranges = tracker_.TakeCompleted(target);
   if (!in_memory()) {
     std::vector<char> buf;
@@ -330,6 +350,20 @@ void LogManager::FlushOnce() {
     durable_offset_.store(target, std::memory_order_release);
   }
   durable_cv_.notify_all();
+  if (metrics_ != nullptr) {
+    // Batch size counts the whole durability advance (group-commit batch),
+    // including skip blocks and alignment, which is the quantity that drives
+    // buffer sizing; latency is the wall time of this pass.
+    const uint64_t batch = target - durable;
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    metrics_->Inc(metrics::Ctr::kLogFlushes);
+    metrics_->Inc(metrics::Ctr::kLogFlushedBytes, batch);
+    metrics_->Observe(metrics::Hist::kLogFlushBytes, batch);
+    metrics_->Observe(metrics::Hist::kLogFlushLatencyUs,
+                      static_cast<uint64_t>(us));
+  }
 }
 
 Status LogManager::ReadDurable(uint64_t offset, void* dst,

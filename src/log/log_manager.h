@@ -22,12 +22,16 @@
 #include "log/log_record.h"
 #include "log/lsn.h"
 #include "log/segment.h"
+#include "metrics/metrics.h"
 
 namespace ermia {
 
 class LogManager {
  public:
-  explicit LogManager(const EngineConfig& config);
+  // `metrics` may be null (standalone construction in unit tests); when set,
+  // flush/skip/rotation telemetry is mirrored into the engine registry.
+  explicit LogManager(const EngineConfig& config,
+                      metrics::EngineMetrics* metrics = nullptr);
   ~LogManager();
   ERMIA_NO_COPY(LogManager);
 
@@ -112,6 +116,7 @@ class LogManager {
   void FlushOnce();
 
   EngineConfig config_;
+  metrics::EngineMetrics* metrics_;  // nullable
 
   alignas(kCacheLineSize) std::atomic<uint64_t> next_offset_{kLogStartOffset};
   alignas(kCacheLineSize) std::atomic<uint64_t> durable_offset_{

@@ -1,0 +1,65 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// Minimal append-only JSON emitter shared by the metrics snapshot, the bench
+// harness's --json output, and ermia_dump. Tracks object/array nesting and
+// inserts commas automatically; no external dependencies, no DOM.
+#ifndef ERMIA_METRICS_JSON_H_
+#define ERMIA_METRICS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ermia {
+namespace metrics {
+
+std::string JsonEscape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Emits `"name":`; must be followed by a value or Begin*.
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& String(std::string_view v);
+  JsonWriter& Uint(uint64_t v);
+  JsonWriter& Int(int64_t v);
+  // Non-finite doubles are emitted as 0 (JSON has no NaN/Inf).
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+
+  // Convenience: Key + value in one call.
+  JsonWriter& Field(std::string_view name, std::string_view v) {
+    return Key(name).String(v);
+  }
+  JsonWriter& Field(std::string_view name, uint64_t v) {
+    return Key(name).Uint(v);
+  }
+  JsonWriter& Field(std::string_view name, double v) {
+    return Key(name).Double(v);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: true until the first element is written.
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+};
+
+}  // namespace metrics
+}  // namespace ermia
+
+#endif  // ERMIA_METRICS_JSON_H_

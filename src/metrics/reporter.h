@@ -1,0 +1,63 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// Opt-in background thread that periodically emits JSON-lines deltas of the
+// engine metrics snapshot. Enabled via EngineConfig::metrics_report_interval_ms;
+// output goes to EngineConfig::metrics_report_path (empty = stderr).
+//
+// The reporter pulls snapshots through a std::function so it has no compile-
+// time dependency on Database (which owns both the reporter and the registry).
+#ifndef ERMIA_METRICS_REPORTER_H_
+#define ERMIA_METRICS_REPORTER_H_
+
+#include <condition_variable>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/macros.h"
+#include "metrics/metrics.h"
+
+namespace ermia {
+namespace metrics {
+
+class Reporter {
+ public:
+  using SnapshotFn = std::function<MetricsSnapshot()>;
+
+  // `path` empty = stderr. Does not start the thread; call Start().
+  Reporter(SnapshotFn source, uint64_t interval_ms, std::string path);
+  ~Reporter();
+  ERMIA_NO_COPY(Reporter);
+
+  void Start();
+  // Emits one final delta line, then joins. Idempotent.
+  void Stop();
+
+  uint64_t lines_emitted() const { return lines_emitted_; }
+
+ private:
+  void Run();
+  void EmitDelta();
+
+  SnapshotFn source_;
+  const uint64_t interval_ms_;
+  const std::string path_;
+
+  std::FILE* out_ = nullptr;  // owned iff path_ is non-empty
+  MetricsSnapshot last_;
+  uint64_t seq_ = 0;
+  uint64_t lines_emitted_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace metrics
+}  // namespace ermia
+
+#endif  // ERMIA_METRICS_REPORTER_H_

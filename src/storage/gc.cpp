@@ -5,8 +5,11 @@
 namespace ermia {
 
 GarbageCollector::GarbageCollector(EpochManager* gc_epoch,
-                                   std::function<uint64_t()> oldest_active)
-    : gc_epoch_(gc_epoch), oldest_active_(std::move(oldest_active)) {}
+                                   std::function<uint64_t()> oldest_active,
+                                   metrics::EngineMetrics* metrics)
+    : gc_epoch_(gc_epoch),
+      oldest_active_(std::move(oldest_active)),
+      metrics_(metrics) {}
 
 GarbageCollector::~GarbageCollector() { Stop(); }
 
@@ -62,8 +65,10 @@ size_t GarbageCollector::RunOnce() {
     // oldest active snapshot (begin == boundary) reads; everything older is
     // unreachable to every current and future transaction.
     Version* keep = head;
+    uint64_t chain_len = 0;
     bool found_boundary_version = false;
     while (keep != nullptr) {
+      ++chain_len;
       const uint64_t s = keep->clsn.load(std::memory_order_acquire);
       if (!IsTidStamp(s) && StampOffset(s) < boundary) {
         found_boundary_version = true;
@@ -71,7 +76,15 @@ size_t GarbageCollector::RunOnce() {
       }
       keep = keep->next.load(std::memory_order_acquire);
     }
-    if (!found_boundary_version || keep == nullptr) continue;
+    if (metrics_ != nullptr) {
+      metrics_->Observe(metrics::Hist::kGcChainLength, chain_len);
+    }
+    if (!found_boundary_version || keep == nullptr) {
+      // Every version is still reachable (or TID-stamped): the chain stays
+      // untouched until a later pass.
+      if (metrics_ != nullptr) metrics_->Inc(metrics::Ctr::kGcItemsDeferred);
+      continue;
+    }
     Version* dead = keep->next.exchange(nullptr, std::memory_order_acq_rel);
     if (dead == nullptr) {
       // Chain already fully trimmed; if newer uncommitted/recent versions
@@ -95,6 +108,12 @@ size_t GarbageCollector::RunOnce() {
     });
   }
   total_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
+  if (metrics_ != nullptr) {
+    metrics_->Inc(metrics::Ctr::kGcPasses);
+    if (reclaimed > 0) {
+      metrics_->Inc(metrics::Ctr::kGcVersionsReclaimed, reclaimed);
+    }
+  }
   return reclaimed;
 }
 

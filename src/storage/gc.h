@@ -19,6 +19,7 @@
 #include "common/spin_latch.h"
 #include "common/sysconf.h"
 #include "epoch/epoch_manager.h"
+#include "metrics/metrics.h"
 #include "storage/table.h"
 
 namespace ermia {
@@ -28,8 +29,10 @@ class GarbageCollector {
   // `oldest_active` returns the smallest begin offset of any in-flight
   // transaction (or the log tail when idle): versions overwritten before that
   // point — except the newest such version — are unreachable.
+  // `metrics` may be null (standalone construction in unit tests).
   GarbageCollector(EpochManager* gc_epoch,
-                   std::function<uint64_t()> oldest_active);
+                   std::function<uint64_t()> oldest_active,
+                   metrics::EngineMetrics* metrics = nullptr);
   ~GarbageCollector();
   ERMIA_NO_COPY(GarbageCollector);
 
@@ -55,6 +58,7 @@ class GarbageCollector {
 
   EpochManager* gc_epoch_;
   std::function<uint64_t()> oldest_active_;
+  metrics::EngineMetrics* metrics_;  // nullable
 
   // Per-thread recycle queues (sharded by ThreadRegistry::MyId()): committing
   // workers enqueue into their own shard, so the commit path never contends

@@ -40,6 +40,13 @@ TxnContext* TidManager::Begin(uint64_t begin_offset, uint64_t* tid_out) {
     ctx.sstamp.store(kInfinityStamp, std::memory_order_relaxed);
     // 4. Open for business.
     ctx.StoreState(TxnState::kActive);
+    const uint64_t now_active =
+        active_.fetch_add(1, std::memory_order_relaxed) + 1;
+    uint64_t hwm = occupancy_hwm_.load(std::memory_order_relaxed);
+    while (hwm < now_active &&
+           !occupancy_hwm_.compare_exchange_weak(hwm, now_active,
+                                                 std::memory_order_relaxed)) {
+    }
     *tid_out = new_tid;
     return &ctx;
   }
@@ -48,6 +55,7 @@ TxnContext* TidManager::Begin(uint64_t begin_offset, uint64_t* tid_out) {
 void TidManager::Release(TxnContext* ctx) {
   ERMIA_DCHECK(ctx->LoadState() == TxnState::kCommitted ||
                ctx->LoadState() == TxnState::kAborted);
+  active_.fetch_sub(1, std::memory_order_relaxed);
   ctx->released.store(true, std::memory_order_release);
 }
 

@@ -92,9 +92,20 @@ class TidManager {
   // none. Drives the garbage collector's reclamation boundary.
   uint64_t OldestActiveBegin(uint64_t fallback) const;
 
+  // Occupancy (claimed, not-yet-released slots) right now, and its high-water
+  // mark since startup. Relaxed reads; sampled into the metrics snapshot.
+  uint64_t ActiveCount() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+  uint64_t OccupancyHighWaterMark() const {
+    return occupancy_hwm_.load(std::memory_order_relaxed);
+  }
+
  private:
   TxnContext table_[kSlots];
   std::atomic<uint64_t> clock_{0};  // claim cursor
+  std::atomic<uint64_t> active_{0};
+  std::atomic<uint64_t> occupancy_hwm_{0};
 };
 
 }  // namespace ermia

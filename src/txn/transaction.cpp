@@ -47,27 +47,46 @@ Transaction::~Transaction() {
 
 Status Transaction::Read(Table* table, Oid oid, Slice* value) {
   ERMIA_DCHECK(!finished_);
+  Status s;
   if (scheme_ == CcScheme::kOcc && !read_only_) {
-    return OccRead(table, oid, value);
+    s = OccRead(table, oid, value);
+  } else if (scheme_ == CcScheme::k2pl) {
+    s = TplRead(table, oid, value);
+  } else {
+    s = SiRead(table, oid, value);
   }
-  if (scheme_ == CcScheme::k2pl) return TplRead(table, oid, value);
-  return SiRead(table, oid, value);
+  if (s.ok()) db_->metrics().Inc(metrics::Ctr::kTxnReads);
+  return s;
 }
 
 Status Transaction::Update(Table* table, Oid oid, const Slice& value) {
   ERMIA_DCHECK(!finished_);
   if (read_only_) return Status::InvalidArgument("read-only transaction");
-  if (scheme_ == CcScheme::kOcc) return OccUpdate(table, oid, value, false);
-  if (scheme_ == CcScheme::k2pl) return TplUpdate(table, oid, value, false);
-  return SiUpdate(table, oid, value, false);
+  Status s;
+  if (scheme_ == CcScheme::kOcc) {
+    s = OccUpdate(table, oid, value, false);
+  } else if (scheme_ == CcScheme::k2pl) {
+    s = TplUpdate(table, oid, value, false);
+  } else {
+    s = SiUpdate(table, oid, value, false);
+  }
+  if (s.ok()) db_->metrics().Inc(metrics::Ctr::kTxnUpdates);
+  return s;
 }
 
 Status Transaction::Delete(Table* table, Oid oid) {
   ERMIA_DCHECK(!finished_);
   if (read_only_) return Status::InvalidArgument("read-only transaction");
-  if (scheme_ == CcScheme::kOcc) return OccUpdate(table, oid, Slice(), true);
-  if (scheme_ == CcScheme::k2pl) return TplUpdate(table, oid, Slice(), true);
-  return SiUpdate(table, oid, Slice(), true);
+  Status s;
+  if (scheme_ == CcScheme::kOcc) {
+    s = OccUpdate(table, oid, Slice(), true);
+  } else if (scheme_ == CcScheme::k2pl) {
+    s = TplUpdate(table, oid, Slice(), true);
+  } else {
+    s = SiUpdate(table, oid, Slice(), true);
+  }
+  if (s.ok()) db_->metrics().Inc(metrics::Ctr::kTxnDeletes);
+  return s;
 }
 
 Status Transaction::Insert(Table* table, Index* primary, const Slice& key,
@@ -147,6 +166,7 @@ probe:
   Status is = InsertIndexEntry(primary, key, new_oid);
   if (!is.ok()) return is;  // racing insert won the key: caller aborts
   if (oid != nullptr) *oid = new_oid;
+  db_->metrics().Inc(metrics::Ctr::kTxnInserts);
   return Status::OK();
 }
 
@@ -387,7 +407,13 @@ void Transaction::PostCommit(Lsn clsn) {
 
 void Transaction::Finish(bool committed) {
   ERMIA_DCHECK(!finished_);
-  (void)committed;
+  if (committed) {
+    db_->metrics().Inc(metrics::Ctr::kTxnCommits);
+  } else {
+    // Exactly one per-reason increment per abort; unmarked aborts fall under
+    // kExplicit (the constructor default) — e.g. NewOrder's 1% rollback.
+    db_->metrics().Inc(metrics::AbortCtr(abort_reason_));
+  }
   // SSN: drop the reader advertisements (stamps, if any, were published
   // before the state flip) and return the registry slot before the TID slot
   // becomes reusable.
@@ -400,7 +426,7 @@ void Transaction::Finish(bool committed) {
     db_->gc_epoch().Exit();
     in_epoch_ = false;
   }
-  prof::t_counters.transactions++;
+  prof::Bump(prof::MyCounters().transactions, 1);
   finished_ = true;
 }
 

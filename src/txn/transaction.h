@@ -26,6 +26,7 @@
 #include "common/status.h"
 #include "index/btree.h"
 #include "log/lsn.h"
+#include "metrics/metrics.h"
 #include "storage/table.h"
 #include "txn/tid_manager.h"
 
@@ -113,8 +114,20 @@ class Transaction {
   bool read_only() const { return read_only_; }
   CcScheme scheme() const { return scheme_; }
   bool finished() const { return finished_; }
+  // Why this transaction aborted (meaningful once finished unsuccessfully).
+  metrics::AbortReason abort_reason() const { return abort_reason_; }
 
  private:
+  // Attributes the abort to its root cause. First mark wins: CC failure
+  // sites call this before unwinding, so the cleanup path's generic Abort()
+  // doesn't overwrite the specific reason. Finish(false) counts it exactly
+  // once, which keeps per-reason counters summing to total aborts.
+  void MarkAbort(metrics::AbortReason reason) {
+    if (!abort_marked_) {
+      abort_reason_ = reason;
+      abort_marked_ = true;
+    }
+  }
   struct ReadSetEntry {
     Version* version;                // the version this transaction read
     std::atomic<Version*>* slot;     // its indirection slot (OCC validation)
@@ -215,6 +228,8 @@ class Transaction {
   TxnContext* ctx_ = nullptr;
   uint64_t tid_ = 0;
   uint64_t begin_ = 0;  // begin timestamp (log offset)
+  metrics::AbortReason abort_reason_ = metrics::AbortReason::kExplicit;
+  bool abort_marked_ = false;
   // SSN reader-registry slot (kNoSlot until the first tracked read).
   uint32_t ssn_reader_slot_ = UINT32_MAX;
 

@@ -4,7 +4,10 @@
 // debugging recovery issues and for seeing the paper's log format (§3.3,
 // Fig. 4) laid out on disk.
 //
-//   $ ermia_dump <log-dir> [--records] [--from=<hex-offset>]
+//   $ ermia_dump <log-dir> [--records] [--from=<hex-offset>] [--json]
+//
+// --json replaces the text report with a single machine-readable document
+// (segments, per-type record counts, durable tail) for scripted checks.
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -12,6 +15,7 @@
 
 #include "log/log_scan.h"
 #include "log/lsn.h"
+#include "metrics/json.h"
 
 using namespace ermia;
 
@@ -52,21 +56,26 @@ void PrintableKey(const std::string& key, char* out, size_t cap) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <log-dir> [--records] [--from=<hex-offset>]\n",
-                 argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s <log-dir> [--records] [--from=<hex-offset>] [--json]\n",
+        argv[0]);
     return 2;
   }
   const std::string dir = argv[1];
   bool show_records = false;
+  bool json_mode = false;
   uint64_t from = kLogStartOffset;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--records") == 0) {
       show_records = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_mode = true;
     } else if (std::strncmp(argv[i], "--from=", 7) == 0) {
       from = std::strtoull(argv[i] + 7, nullptr, 16);
     }
   }
+  if (json_mode) show_records = false;
 
   LogScanner scanner(dir);
   Status s = scanner.Init();
@@ -75,12 +84,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("log directory: %s\n", dir.c_str());
-  std::printf("%zu segment(s):\n", scanner.segments().size());
-  for (const auto& seg : scanner.segments()) {
-    std::printf("  seg %02x  offsets [%#" PRIx64 ", %#" PRIx64 ")  %s\n",
-                seg.segnum, seg.start_offset, seg.end_offset,
-                seg.path.c_str());
+  if (!json_mode) {
+    std::printf("log directory: %s\n", dir.c_str());
+    std::printf("%zu segment(s):\n", scanner.segments().size());
+    for (const auto& seg : scanner.segments()) {
+      std::printf("  seg %02x  offsets [%#" PRIx64 ", %#" PRIx64 ")  %s\n",
+                  seg.segnum, seg.start_offset, seg.end_offset,
+                  seg.path.c_str());
+    }
   }
 
   uint64_t blocks = 0, records = 0;
@@ -109,6 +120,33 @@ int main(int argc, char** argv) {
   if (!s.ok()) {
     std::fprintf(stderr, "scan error: %s\n", s.ToString().c_str());
     return 1;
+  }
+  if (json_mode) {
+    metrics::JsonWriter w;
+    w.BeginObject();
+    w.Field("log_dir", dir);
+    w.Key("segments").BeginArray();
+    for (const auto& seg : scanner.segments()) {
+      w.BeginObject();
+      w.Field("segnum", static_cast<uint64_t>(seg.segnum));
+      w.Field("start_offset", seg.start_offset);
+      w.Field("end_offset", seg.end_offset);
+      w.Field("path", seg.path);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Field("blocks", blocks);
+    w.Field("records", records);
+    w.Key("records_by_type").BeginObject();
+    w.Field("insert", by_type[1]);
+    w.Field("update", by_type[2]);
+    w.Field("delete", by_type[3]);
+    w.Field("index_insert", by_type[6]);
+    w.EndObject();
+    w.Field("durable_tail", scanner.FindTail());
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
   }
   std::printf("\n%" PRIu64 " block(s), %" PRIu64 " record(s)\n", blocks,
               records);
