@@ -9,7 +9,7 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 cmake -B "$BUILD_DIR" -S . -DERMIA_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j --target \
   cc_ssn_test cc_ssn_parallel_test txn_semantics_test concurrency_test \
-  metrics_test
+  metrics_test crash_recovery_harness
 
 # tsan.supp waives only the optimistic-lock-coupling reads in the B+-tree
 # (benign by protocol: validated against the node version word and retried).
@@ -19,3 +19,9 @@ for t in cc_ssn_test cc_ssn_parallel_test txn_semantics_test concurrency_test \
   echo "=== $t (tsan) ==="
   "$BUILD_DIR/tests/$t"
 done
+
+# The crash harness forks workload children whose flusher/checkpoint/worker
+# threads race against an injected kill — a good TSan target for the
+# durability path. A short sweep keeps the wall-clock sane under TSan.
+echo "=== crash_recovery_harness (tsan, 8 seeds) ==="
+ERMIA_CRASH_SEEDS=8 "$BUILD_DIR/tests/crash_recovery_harness"

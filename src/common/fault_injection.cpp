@@ -1,0 +1,241 @@
+#include "common/fault_injection.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace ermia {
+namespace fault {
+
+namespace {
+
+// Plan fields are separate atomics: installed once before the workload's
+// threads start, read on every instrumented op.
+std::atomic<Mode> g_mode{Mode::kNone};
+std::atomic<uint64_t> g_seed{0};
+std::atomic<uint64_t> g_trigger{0};
+std::atomic<uint64_t> g_ops{0};
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+[[noreturn]] void Die() {
+  // SIGKILL: no atexit handlers, no flushing — the closest in-process
+  // approximation of the machine losing power.
+  ::raise(SIGKILL);
+  ::_exit(137);  // unreachable; placate the compiler
+}
+
+// Returns the armed mode iff this call is the triggering op. Each
+// instrumented call bumps the op counter exactly once.
+Mode FireCheck() {
+  if (g_mode.load(std::memory_order_relaxed) == Mode::kNone) return Mode::kNone;
+  const uint64_t n = g_ops.fetch_add(1, std::memory_order_relaxed) + 1;
+  const Mode mode = g_mode.load(std::memory_order_relaxed);
+  if (mode == Mode::kNone || n != g_trigger.load(std::memory_order_relaxed)) {
+    return Mode::kNone;
+  }
+  return mode;
+}
+
+// Prefix length for a torn/short write of n bytes: anywhere in [0, n).
+size_t TornPrefix(size_t n) {
+  if (n <= 1) return 0;
+  const uint64_t r = Mix64(g_seed.load(std::memory_order_relaxed) ^
+                           g_ops.load(std::memory_order_relaxed));
+  return static_cast<size_t>(r % n);
+}
+
+bool WriteAllRaw(int fd, const char* p, size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) {
+      errno = EIO;  // write(2) returning 0 for n>0: treat as hard error
+      return false;
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+bool PwriteAllRaw(int fd, const char* p, size_t n, off_t off) {
+  while (n > 0) {
+    const ssize_t w = ::pwrite(fd, p, n, off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) {
+      errno = EIO;
+      return false;
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+    off += w;
+  }
+  return true;
+}
+
+}  // namespace
+
+void InstallPlan(const Plan& plan) {
+  g_seed.store(plan.seed, std::memory_order_relaxed);
+  g_trigger.store(plan.trigger_after, std::memory_order_relaxed);
+  g_ops.store(0, std::memory_order_relaxed);
+  g_mode.store(plan.mode, std::memory_order_release);
+}
+
+void Disarm() { g_mode.store(Mode::kNone, std::memory_order_release); }
+
+bool Armed() { return g_mode.load(std::memory_order_acquire) != Mode::kNone; }
+
+uint64_t OpCount() { return g_ops.load(std::memory_order_relaxed); }
+
+bool WriteAll(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  switch (FireCheck()) {
+    case Mode::kCrash:
+      Die();
+    case Mode::kTornWrite: {
+      (void)WriteAllRaw(fd, p, TornPrefix(n));
+      Die();
+    }
+    case Mode::kShortWrite: {
+      (void)WriteAllRaw(fd, p, TornPrefix(n));
+      Disarm();
+      errno = ENOSPC;
+      return false;
+    }
+    default:
+      break;
+  }
+  return WriteAllRaw(fd, p, n);
+}
+
+bool PwriteAll(int fd, const void* data, size_t n, off_t off) {
+  const char* p = static_cast<const char*>(data);
+  switch (FireCheck()) {
+    case Mode::kCrash:
+      Die();
+    case Mode::kTornWrite: {
+      (void)PwriteAllRaw(fd, p, TornPrefix(n), off);
+      Die();
+    }
+    case Mode::kShortWrite: {
+      (void)PwriteAllRaw(fd, p, TornPrefix(n), off);
+      Disarm();
+      errno = ENOSPC;
+      return false;
+    }
+    default:
+      break;
+  }
+  return PwriteAllRaw(fd, p, n, off);
+}
+
+int Fdatasync(int fd) {
+  switch (FireCheck()) {
+    case Mode::kCrash:
+      Die();
+    case Mode::kFsyncError:
+      Disarm();
+      errno = EIO;
+      return -1;
+    default:
+      break;
+  }
+  int rc;
+  do {
+    rc = ::fdatasync(fd);
+  } while (rc != 0 && errno == EINTR);
+  return rc;
+}
+
+int Fsync(int fd) {
+  switch (FireCheck()) {
+    case Mode::kCrash:
+      Die();
+    case Mode::kFsyncError:
+      Disarm();
+      errno = EIO;
+      return -1;
+    default:
+      break;
+  }
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  return rc;
+}
+
+int CreateFile(const char* path, int flags, mode_t mode) {
+  if (FireCheck() == Mode::kCrash) Die();
+  int fd;
+  do {
+    fd = ::open(path, flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd;
+  do {
+    fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Status::IOError("cannot open dir for fsync: " + dir);
+  const int rc = Fsync(fd);  // instrumented: dir fsync is a fault point too
+  ::close(fd);
+  if (rc != 0) return Status::IOError("fsync failed on dir: " + dir);
+  return Status::OK();
+}
+
+size_t ReadFull(int fd, void* dst, size_t n, bool* hard_error) {
+  char* p = static_cast<char*>(dst);
+  size_t got = 0;
+  if (hard_error != nullptr) *hard_error = false;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (hard_error != nullptr) *hard_error = true;
+      break;
+    }
+    if (r == 0) break;  // EOF: short read, not an error
+    got += static_cast<size_t>(r);
+  }
+  return got;
+}
+
+size_t PreadFull(int fd, void* dst, size_t n, off_t off, bool* hard_error) {
+  char* p = static_cast<char*>(dst);
+  size_t got = 0;
+  if (hard_error != nullptr) *hard_error = false;
+  while (got < n) {
+    const ssize_t r =
+        ::pread(fd, p + got, n - got, off + static_cast<off_t>(got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (hard_error != nullptr) *hard_error = true;
+      break;
+    }
+    if (r == 0) break;  // EOF
+    got += static_cast<size_t>(r);
+  }
+  return got;
+}
+
+}  // namespace fault
+}  // namespace ermia

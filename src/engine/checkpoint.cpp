@@ -5,6 +5,17 @@
 // database); recovery fetches them through the dumped addresses. A
 // checkpoint-begin block marks where replay must start; the marker file is
 // the atomic commit point of the checkpoint.
+//
+// Commit-point ordering (see docs/INTERNALS.md "Durability contract"):
+//   1. chk data written, fdatasync'd
+//   2. log directory fsync'd (the data file's dirent is durable)
+//   3. cmark marker created
+//   4. log directory fsync'd again (the marker's dirent is durable)
+// A crash between any two steps can surface the data file without the
+// marker (harmless: recovery ignores unmarked checkpoints) but never the
+// marker without its data. The data file ends in a checksum footer so a
+// torn checkpoint write is detected and recovery falls back to an older
+// marker or full-log replay.
 #include <fcntl.h>
 #include <unistd.h>
 
@@ -13,13 +24,14 @@
 #include <cstring>
 #include <vector>
 
+#include "common/fault_injection.h"
+#include "common/spin_latch.h"
 #include "engine/database.h"
+#include "engine/checkpoint_format.h"
 
 namespace ermia {
 
 namespace {
-
-constexpr uint32_t kCheckpointMagic = 0x45524D43;  // "ERMC"
 
 struct CheckpointEntry {
   Varstr key;
@@ -27,7 +39,91 @@ struct CheckpointEntry {
   uint64_t clsn;
   uint64_t log_ptr;
   uint32_t size;
+  uint8_t tombstone;
 };
+
+// Appends to the checkpoint file while folding every byte into the running
+// FNV-1a state that becomes the footer checksum. Field-sized appends are
+// coalesced into large writes (the syscall-per-field pattern dominated
+// checkpoint cost for big indexes).
+class ChecksummingWriter {
+ public:
+  explicit ChecksummingWriter(int fd) : fd_(fd) { buf_.reserve(kBufSize); }
+
+  bool Append(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= 16777619u;
+    }
+    buf_.insert(buf_.end(), p, p + n);
+    if (buf_.size() >= kBufSize) return Flush();
+    return true;
+  }
+
+  bool Flush() {
+    if (buf_.empty()) return true;
+    const bool ok = fault::WriteAll(fd_, buf_.data(), buf_.size());
+    buf_.clear();
+    return ok;
+  }
+
+  uint32_t checksum() const { return h_; }
+
+ private:
+  static constexpr size_t kBufSize = 1 << 16;
+
+  int fd_;
+  uint32_t h_ = 2166136261u;  // FNV-1a basis, matching LogChecksum
+  std::vector<char> buf_;
+};
+
+// Newest committed version of the chain, resolving TID-stamped heads
+// through the TID manager exactly like the reader paths do. A fuzzy scan
+// that merely skipped TID stamps would drop a transaction that committed
+// before the checkpoint's begin offset but had not finished post-commit
+// stamping when the scan passed — its log block sits below the replay
+// start, so the committed (possibly already acknowledged) write would
+// vanish from recovery. Found by the crash-recovery harness.
+const Version* NewestCommitted(TidManager& tids, const Version* head,
+                               uint64_t* clsn_out) {
+  const Version* v = head;
+  Backoff backoff;
+  while (v != nullptr) {
+    const uint64_t s = v->clsn.load(std::memory_order_acquire);
+    if (!IsTidStamp(s)) {
+      *clsn_out = s;
+      return v;
+    }
+    uint64_t cstamp = 0;
+    switch (tids.Inquire(TidFromStamp(s), &cstamp)) {
+      case TidManager::Outcome::kStale:
+        continue;  // owner finished post-commit; the stamp is an LSN now
+      case TidManager::Outcome::kCommitted:
+        // Committed, stamping pending. InstallCommitBlock (which fixes
+        // log_ptr) happens before the context publishes kCommitted.
+        *clsn_out = cstamp;
+        return v;
+      case TidManager::Outcome::kInFlight:
+        if (cstamp != 0) {
+          // Pre-committing with a stamp that may precede our begin offset:
+          // wait it out (pre-commit is short and never blocks on us).
+          backoff.Pause();
+          continue;
+        }
+        // Forward processing: any commit stamp it gets later is past the
+        // checkpoint's begin offset, so the replay tail covers it.
+        v = v->next.load(std::memory_order_acquire);
+        continue;
+      case TidManager::Outcome::kAborted:
+        v = v->next.load(std::memory_order_acquire);
+        continue;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
 
 std::string CheckpointDataName(uint64_t begin) {
   char buf[64];
@@ -40,29 +136,6 @@ std::string CheckpointMarkerName(uint64_t begin) {
   std::snprintf(buf, sizeof buf, "cmark-%016" PRIx64, begin);
   return buf;
 }
-
-bool AppendAll(int fd, const void* data, size_t n) {
-  const char* p = static_cast<const char*>(data);
-  while (n > 0) {
-    ssize_t w = ::write(fd, p, n);
-    if (w <= 0) return false;
-    p += w;
-    n -= static_cast<size_t>(w);
-  }
-  return true;
-}
-
-// Newest committed, non-TID-stamped version (the checkpointable state).
-const Version* NewestCommitted(const Version* head) {
-  const Version* v = head;
-  while (v != nullptr &&
-         IsTidStamp(v->clsn.load(std::memory_order_acquire))) {
-    v = v->next.load(std::memory_order_acquire);
-  }
-  return v;
-}
-
-}  // namespace
 
 Status Database::TakeCheckpoint(uint64_t* begin_offset_out) {
   if (log_.in_memory()) {
@@ -91,14 +164,18 @@ Status Database::TakeCheckpoint(uint64_t* begin_offset_out) {
     index->tree().Scan(
         Slice(), Slice(),
         [&](const Slice& key, Oid oid) {
-          const Version* v = NewestCommitted(array.Head(oid));
-          if (v == nullptr || v->tombstone || v->log_ptr == 0) return true;
+          uint64_t clsn = 0;
+          const Version* v = NewestCommitted(tids_, array.Head(oid), &clsn);
+          // Tombstones are dumped (see checkpoint_format.h): their index
+          // entries may be the only durable key→OID mapping left.
+          if (v == nullptr || v->log_ptr == 0) return true;
           CheckpointEntry e;
           e.key = Varstr(key);
           e.oid = oid;
-          e.clsn = v->clsn.load(std::memory_order_acquire);
+          e.clsn = clsn;
           e.log_ptr = v->log_ptr;
           e.size = v->size;
+          e.tombstone = v->tombstone ? 1 : 0;
           per_index[i].push_back(e);
           return true;
         },
@@ -110,38 +187,50 @@ Status Database::TakeCheckpoint(uint64_t* begin_offset_out) {
 
   const std::string data_path =
       config_.log_dir + "/" + CheckpointDataName(begin);
-  int fd = ::open(data_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  int fd = fault::CreateFile(data_path.c_str(),
+                             O_CREAT | O_WRONLY | O_TRUNC, 0644);
   if (fd < 0) return Status::IOError("cannot create " + data_path);
 
+  ChecksummingWriter w(fd);
   bool ok = true;
   uint32_t header[2] = {kCheckpointMagic,
                         static_cast<uint32_t>(index_list_.size())};
-  ok = ok && AppendAll(fd, header, sizeof header);
+  ok = ok && w.Append(header, sizeof header);
   // Table OID high-water marks.
   uint32_t ntables = static_cast<uint32_t>(table_list_.size());
-  ok = ok && AppendAll(fd, &ntables, sizeof ntables);
+  ok = ok && w.Append(&ntables, sizeof ntables);
   for (Table* t : table_list_) {
     uint32_t rec[2] = {t->fid(), t->array().HighWaterMark()};
-    ok = ok && AppendAll(fd, rec, sizeof rec);
+    ok = ok && w.Append(rec, sizeof rec);
   }
   for (size_t i = 0; i < index_list_.size(); ++i) {
     uint32_t fid = index_list_[i]->fid();
     uint64_t count = per_index[i].size();
-    ok = ok && AppendAll(fd, &fid, sizeof fid);
-    ok = ok && AppendAll(fd, &count, sizeof count);
+    ok = ok && w.Append(&fid, sizeof fid);
+    ok = ok && w.Append(&count, sizeof count);
     for (const auto& e : per_index[i]) {
       uint16_t klen = static_cast<uint16_t>(e.key.size());
-      ok = ok && AppendAll(fd, &klen, sizeof klen);
-      ok = ok && AppendAll(fd, e.key.data(), klen);
-      ok = ok && AppendAll(fd, &e.oid, sizeof e.oid);
-      ok = ok && AppendAll(fd, &e.clsn, sizeof e.clsn);
-      ok = ok && AppendAll(fd, &e.log_ptr, sizeof e.log_ptr);
-      ok = ok && AppendAll(fd, &e.size, sizeof e.size);
+      ok = ok && w.Append(&klen, sizeof klen);
+      ok = ok && w.Append(e.key.data(), klen);
+      ok = ok && w.Append(&e.oid, sizeof e.oid);
+      ok = ok && w.Append(&e.clsn, sizeof e.clsn);
+      ok = ok && w.Append(&e.log_ptr, sizeof e.log_ptr);
+      ok = ok && w.Append(&e.size, sizeof e.size);
+      ok = ok && w.Append(&e.tombstone, sizeof e.tombstone);
     }
   }
-  ok = ok && ::fdatasync(fd) == 0;
+  // Footer: magic + checksum over everything above. Written last, so a torn
+  // checkpoint write cannot verify.
+  if (ok) {
+    uint32_t footer[2] = {kCheckpointFooterMagic, w.checksum()};
+    ok = w.Flush() && fault::WriteAll(fd, footer, sizeof footer);
+  }
+  ok = ok && fault::Fdatasync(fd) == 0;
   ::close(fd);
   if (!ok) return Status::IOError("checkpoint write failed");
+  // The data file's dirent must be durable before the marker exists in any
+  // crash-surviving state.
+  ERMIA_RETURN_NOT_OK(fault::SyncDir(config_.log_dir));
 
   // Checkpoint-end block, then the marker file: the marker's existence is
   // what recovery trusts (crash before this point = previous checkpoint).
@@ -157,9 +246,12 @@ Status Database::TakeCheckpoint(uint64_t* begin_offset_out) {
   }
   const std::string marker_path =
       config_.log_dir + "/" + CheckpointMarkerName(begin);
-  int mfd = ::open(marker_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  int mfd = fault::CreateFile(marker_path.c_str(),
+                              O_CREAT | O_WRONLY | O_TRUNC, 0644);
   if (mfd < 0) return Status::IOError("cannot create " + marker_path);
   ::close(mfd);
+  // Final commit point: the marker's dirent is durable only after this.
+  ERMIA_RETURN_NOT_OK(fault::SyncDir(config_.log_dir));
   if (begin_offset_out != nullptr) *begin_offset_out = begin;
   return Status::OK();
 }

@@ -31,6 +31,8 @@
 
 namespace ermia {
 
+class LogScanner;
+
 // Aggregate engine counters for monitoring and tests.
 //
 // Snapshot semantics: every field is read with relaxed (or acquire, for log
@@ -135,6 +137,10 @@ class Database {
 
  private:
   friend class Transaction;
+
+  // Installs a parsed, checksum-verified checkpoint image (an opaque
+  // recovery.cpp CheckpointImage) into the OID arrays and indexes.
+  Status ApplyCheckpointImage(const void* image, LogScanner& scanner);
 
   EngineConfig config_;
   // Declared before every subsystem that holds a pointer into it (log_, gc_,

@@ -1,23 +1,33 @@
-// Recovery (paper §3.7): restore the OID arrays from the newest checkpoint,
-// then roll forward by scanning the log tail and replaying the allocator
-// effects of insert/update/delete records. Payloads are fetched through their
-// durable log addresses — the log is the database. The process is identical
-// after a clean shutdown and after a crash; a crash merely means a less
-// recent checkpoint and a longer tail.
+// Recovery (paper §3.7): restore the OID arrays from the newest usable
+// checkpoint, then roll forward by scanning the log tail and replaying the
+// allocator effects of insert/update/delete records. Payloads are fetched
+// through their durable log addresses — the log is the database. The process
+// is identical after a clean shutdown and after a crash; a crash merely means
+// a less recent checkpoint and a longer tail.
+//
+// Checkpoint fallback: markers are tried newest-to-oldest. A checkpoint data
+// file is parsed and checksum-verified IN FULL before a single version or
+// index entry is installed, so a torn or corrupt checkpoint never pollutes
+// the engine — recovery falls back to the next-older marker, and ultimately
+// to a full-log replay, instead of failing with Corruption.
 //
 // Call order: create the schema (same names, same order as the original
 // incarnation), Open() the database (which re-adopts and truncates the
 // on-disk log), then Recover().
 #include <dirent.h>
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
+#include "engine/checkpoint_format.h"
 #include "engine/database.h"
 #include "log/log_scan.h"
 
@@ -25,36 +35,157 @@ namespace ermia {
 
 namespace {
 
-constexpr uint32_t kCheckpointMagic = 0x45524D43;  // "ERMC"
-
-bool ReadAll(int fd, void* dst, size_t n) {
-  char* p = static_cast<char*>(dst);
-  while (n > 0) {
-    ssize_t r = ::read(fd, p, n);
-    if (r <= 0) return false;
-    p += r;
-    n -= static_cast<size_t>(r);
+// Reads exactly n bytes into dst. Retries EINTR/partial reads; a short read
+// at EOF yields Corruption (the file ended early — torn), a hard error
+// yields IOError.
+Status ReadAll(int fd, void* dst, size_t n) {
+  bool hard_error = false;
+  if (fault::ReadFull(fd, dst, n, &hard_error) != n) {
+    return hard_error ? Status::IOError("checkpoint read failed")
+                      : Status::Corruption("checkpoint file truncated");
   }
-  return true;
+  return Status::OK();
 }
 
-// Finds the newest checkpoint marker; returns false if none exists.
-bool FindLatestCheckpoint(const std::string& dir, uint64_t* begin) {
+// Every checkpoint marker in the directory, newest first.
+std::vector<uint64_t> FindCheckpointMarkers(const std::string& dir) {
+  std::vector<uint64_t> begins;
   DIR* d = ::opendir(dir.c_str());
-  if (d == nullptr) return false;
-  bool found = false;
-  uint64_t best = 0;
+  if (d == nullptr) return begins;
   struct dirent* ent;
   while ((ent = ::readdir(d)) != nullptr) {
     uint64_t off = 0;
     if (std::sscanf(ent->d_name, "cmark-%16" SCNx64, &off) == 1) {
-      if (!found || off > best) best = off;
-      found = true;
+      begins.push_back(off);
     }
   }
   ::closedir(d);
-  *begin = best;
-  return found;
+  std::sort(begins.rbegin(), begins.rend());
+  return begins;
+}
+
+// Fully parsed, checksum-verified checkpoint data file. Nothing in here has
+// touched the engine yet.
+struct CheckpointImage {
+  struct TableHwm {
+    Fid fid;
+    uint32_t hwm;
+  };
+  struct Entry {
+    std::string key;
+    Oid oid;
+    uint64_t clsn;
+    uint64_t log_ptr;
+    uint32_t size;
+    uint8_t tombstone;
+  };
+  struct IndexSection {
+    Fid fid;
+    std::vector<Entry> entries;
+  };
+  std::vector<TableHwm> tables;
+  std::vector<IndexSection> indexes;
+};
+
+// Bounds-checked reader over the in-memory checkpoint body.
+class BodyCursor {
+ public:
+  BodyCursor(const char* p, size_t n) : p_(p), end_(p + n) {}
+
+  bool Read(void* dst, size_t n) {
+    if (static_cast<size_t>(end_ - p_) < n) return false;
+    std::memcpy(dst, p_, n);
+    p_ += n;
+    return true;
+  }
+
+  bool ReadString(std::string* dst, size_t n) {
+    if (static_cast<size_t>(end_ - p_) < n) return false;
+    dst->assign(p_, n);
+    p_ += n;
+    return true;
+  }
+
+  bool AtEnd() const { return p_ == end_; }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+// Slurps, checksum-verifies, and parses a checkpoint data file. Returns
+// Corruption/IOError without any side effect on the engine.
+Status LoadCheckpointImage(const std::string& path, CheckpointImage* img) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("missing checkpoint data " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("fstat failed on " + path);
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  if (file_size < sizeof(uint32_t) * 3 + kCheckpointFooterSize) {
+    ::close(fd);
+    return Status::Corruption("checkpoint file too small");
+  }
+  std::vector<char> buf(file_size);
+  Status rs = ReadAll(fd, buf.data(), buf.size());
+  ::close(fd);
+  ERMIA_RETURN_NOT_OK(rs);
+
+  // Footer first: magic + FNV-1a over the body. A torn checkpoint (crash
+  // mid-write before the marker of a LATER checkpoint, manual corruption,
+  // bit rot) fails here and the caller falls back.
+  const uint64_t body_size = file_size - kCheckpointFooterSize;
+  uint32_t footer[2];
+  std::memcpy(footer, buf.data() + body_size, sizeof footer);
+  if (footer[0] != kCheckpointFooterMagic ||
+      footer[1] != LogChecksum(buf.data(), body_size)) {
+    return Status::Corruption("checkpoint checksum mismatch");
+  }
+
+  BodyCursor cur(buf.data(), body_size);
+  uint32_t header[2];
+  if (!cur.Read(header, sizeof header) || header[0] != kCheckpointMagic) {
+    return Status::Corruption("bad checkpoint header");
+  }
+  const uint32_t num_indexes = header[1];
+  uint32_t ntables = 0;
+  if (!cur.Read(&ntables, sizeof ntables)) {
+    return Status::Corruption("bad checkpoint table section");
+  }
+  for (uint32_t i = 0; i < ntables; ++i) {
+    uint32_t rec[2];
+    if (!cur.Read(rec, sizeof rec)) {
+      return Status::Corruption("bad checkpoint table entry");
+    }
+    img->tables.push_back({rec[0], rec[1]});
+  }
+  for (uint32_t i = 0; i < num_indexes; ++i) {
+    CheckpointImage::IndexSection section;
+    uint64_t count = 0;
+    if (!cur.Read(&section.fid, sizeof section.fid) ||
+        !cur.Read(&count, sizeof count)) {
+      return Status::Corruption("bad checkpoint index section");
+    }
+    section.entries.reserve(count);
+    for (uint64_t j = 0; j < count; ++j) {
+      CheckpointImage::Entry e;
+      uint16_t klen = 0;
+      if (!cur.Read(&klen, sizeof klen) || klen > kMaxKeySize ||
+          !cur.ReadString(&e.key, klen) || !cur.Read(&e.oid, sizeof e.oid) ||
+          !cur.Read(&e.clsn, sizeof e.clsn) ||
+          !cur.Read(&e.log_ptr, sizeof e.log_ptr) ||
+          !cur.Read(&e.size, sizeof e.size) ||
+          !cur.Read(&e.tombstone, sizeof e.tombstone)) {
+        return Status::Corruption("bad checkpoint entry");
+      }
+      section.entries.push_back(std::move(e));
+    }
+    img->indexes.push_back(std::move(section));
+  }
+  if (!cur.AtEnd()) return Status::Corruption("trailing checkpoint bytes");
+  return Status::OK();
 }
 
 // Installs (or refreshes) a record version during recovery. Single-threaded,
@@ -94,6 +225,51 @@ void InstallRecoveredStub(Table* table, Oid oid, uint32_t size,
 
 }  // namespace
 
+// Resolves the image against the schema and installs it. The image is
+// already checksum-verified, so every entry is authentic committed state; a
+// failure here (unknown fid = schema drift, unreadable log address) aborts
+// the attempt and the caller falls back to an older checkpoint — versions
+// installed so far are harmless, since they carry true clsns and the
+// clsn-ordered install rule keeps newer state on top.
+Status Database::ApplyCheckpointImage(const void* image_ptr,
+                                      LogScanner& scanner) {
+  const auto& img = *static_cast<const CheckpointImage*>(image_ptr);
+  for (const auto& t : img.tables) {
+    Table* table = TableByFid(t.fid);
+    if (table == nullptr) {
+      return Status::Corruption("checkpoint references unknown table fid");
+    }
+    if (t.hwm > 1) table->array().EnsureAllocatedThrough(t.hwm - 1);
+  }
+  std::vector<char> payload;
+  for (const auto& section : img.indexes) {
+    Index* index = IndexByFid(section.fid);
+    if (index == nullptr) {
+      return Status::Corruption("checkpoint references unknown index fid");
+    }
+    Table* table = index->table();
+    for (const auto& e : section.entries) {
+      // Install the version once (the primary and any secondary index
+      // entries reference the same version; the clsn check deduplicates).
+      if (e.tombstone) {
+        // No payload to fetch or stub: install the tombstone directly. The
+        // index entry below keeps the key→OID mapping alive for replayed
+        // tombstone-overwrite updates.
+        InstallRecovered(table, e.oid, Slice(), true, e.clsn, e.log_ptr);
+      } else if (config_.lazy_recovery) {
+        InstallRecoveredStub(table, e.oid, e.size, e.clsn, e.log_ptr);
+      } else {
+        payload.resize(e.size);
+        ERMIA_RETURN_NOT_OK(scanner.ReadAt(e.log_ptr, payload.data(), e.size));
+        InstallRecovered(table, e.oid, Slice(payload.data(), e.size), false,
+                         e.clsn, e.log_ptr);
+      }
+      index->tree().Insert(Slice(e.key), e.oid, nullptr, nullptr);
+    }
+  }
+  return Status::OK();
+}
+
 Status Database::Recover() {
   if (log_.in_memory()) return Status::OK();  // nothing durable to recover
   ERMIA_CHECK(open_);
@@ -101,90 +277,29 @@ Status Database::Recover() {
   LogScanner scanner(config_.log_dir);
   ERMIA_RETURN_NOT_OK(scanner.Init());
 
+  // Try checkpoints newest-to-oldest; a corrupt/torn/unreadable one is
+  // skipped, not fatal. With no usable checkpoint, replay the whole log.
   uint64_t replay_from = kLogStartOffset;
-  uint64_t checkpoint_begin = 0;
-  if (FindLatestCheckpoint(config_.log_dir, &checkpoint_begin)) {
-    replay_from = checkpoint_begin;
-    char namebuf[64];
-    std::snprintf(namebuf, sizeof namebuf, "chk-%016" PRIx64,
-                  checkpoint_begin);
-    const std::string path = config_.log_dir + "/" + namebuf;
-    int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0) return Status::IOError("missing checkpoint data " + path);
-
-    uint32_t header[2];
-    if (!ReadAll(fd, header, sizeof header) || header[0] != kCheckpointMagic) {
-      ::close(fd);
-      return Status::Corruption("bad checkpoint header");
+  for (uint64_t begin : FindCheckpointMarkers(config_.log_dir)) {
+    const std::string path =
+        config_.log_dir + "/" + CheckpointDataName(begin);
+    CheckpointImage img;
+    Status s = LoadCheckpointImage(path, &img);
+    if (s.ok()) s = ApplyCheckpointImage(&img, scanner);
+    if (s.ok()) {
+      replay_from = begin;
+      break;
     }
-    const uint32_t num_indexes = header[1];
-    uint32_t ntables = 0;
-    if (!ReadAll(fd, &ntables, sizeof ntables)) {
-      ::close(fd);
-      return Status::Corruption("bad checkpoint table section");
-    }
-    for (uint32_t i = 0; i < ntables; ++i) {
-      uint32_t rec[2];
-      if (!ReadAll(fd, rec, sizeof rec)) {
-        ::close(fd);
-        return Status::Corruption("bad checkpoint table entry");
-      }
-      Table* table = TableByFid(rec[0]);
-      if (table == nullptr) {
-        ::close(fd);
-        return Status::Corruption("checkpoint references unknown table fid");
-      }
-      if (rec[1] > 1) table->array().EnsureAllocatedThrough(rec[1] - 1);
-    }
-    std::vector<char> payload;
-    for (uint32_t i = 0; i < num_indexes; ++i) {
-      uint32_t fid = 0;
-      uint64_t count = 0;
-      if (!ReadAll(fd, &fid, sizeof fid) || !ReadAll(fd, &count, sizeof count)) {
-        ::close(fd);
-        return Status::Corruption("bad checkpoint index section");
-      }
-      Index* index = IndexByFid(fid);
-      if (index == nullptr) {
-        ::close(fd);
-        return Status::Corruption("checkpoint references unknown index fid");
-      }
-      for (uint64_t j = 0; j < count; ++j) {
-        uint16_t klen = 0;
-        char keybuf[kMaxKeySize];
-        Oid oid = 0;
-        uint64_t clsn = 0, log_ptr = 0;
-        uint32_t size = 0;
-        if (!ReadAll(fd, &klen, sizeof klen) || klen > kMaxKeySize ||
-            !ReadAll(fd, keybuf, klen) || !ReadAll(fd, &oid, sizeof oid) ||
-            !ReadAll(fd, &clsn, sizeof clsn) ||
-            !ReadAll(fd, &log_ptr, sizeof log_ptr) ||
-            !ReadAll(fd, &size, sizeof size)) {
-          ::close(fd);
-          return Status::Corruption("bad checkpoint entry");
-        }
-        Table* table = index->table();
-        // Install the version once (the primary and any secondary index
-        // entries reference the same version; the clsn check deduplicates).
-        if (config_.lazy_recovery) {
-          InstallRecoveredStub(table, oid, size, clsn, log_ptr);
-        } else {
-          payload.resize(size);
-          Status rs = scanner.ReadAt(log_ptr, payload.data(), size);
-          if (!rs.ok()) {
-            ::close(fd);
-            return rs;
-          }
-          InstallRecovered(table, oid, Slice(payload.data(), size), false,
-                           clsn, log_ptr);
-        }
-        index->tree().Insert(Slice(keybuf, klen), oid, nullptr, nullptr);
-      }
-    }
-    ::close(fd);
+    std::fprintf(stderr,
+                 "ermia: checkpoint %s unusable (%s); falling back to an "
+                 "older checkpoint or full replay\n",
+                 path.c_str(), s.ToString().c_str());
   }
 
-  // Roll forward from the checkpoint (or the log start).
+  // Roll forward from the checkpoint (or the log start). Under lazy
+  // recovery the tail installs stubs too: the payload bytes are durable at
+  // a known address, so materialization on first access works for
+  // tail-replayed records exactly as for checkpointed ones.
   Status scan_status = scanner.Scan(replay_from, [&](const ScannedBlock& block) {
     const uint64_t clsn_value = Lsn::Make(block.offset, 0).value();
     for (const auto& rec : block.records) {
@@ -193,8 +308,14 @@ Status Database::Recover() {
         case LogRecordType::kUpdate: {
           Table* table = TableByFid(rec.fid);
           if (table == nullptr) break;  // unknown fid: schema drift, skip
-          InstallRecovered(table, rec.oid, Slice(rec.payload), false,
-                           clsn_value, rec.payload_offset);
+          if (config_.lazy_recovery) {
+            InstallRecoveredStub(table, rec.oid,
+                                 static_cast<uint32_t>(rec.payload.size()),
+                                 clsn_value, rec.payload_offset);
+          } else {
+            InstallRecovered(table, rec.oid, Slice(rec.payload), false,
+                             clsn_value, rec.payload_offset);
+          }
           break;
         }
         case LogRecordType::kDelete: {

@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "common/fault_injection.h"
 #include "log/log_scan.h"
 
 #include <algorithm>
@@ -335,15 +336,21 @@ void LogManager::FlushOnce() {
       const uint64_t n = r.end - r.begin;
       buf.resize(n);
       ring_.Read(r.begin, buf.data(), n);
-      ssize_t written = ::pwrite(seg->fd, buf.data(), n,
-                                 static_cast<off_t>(seg->FileOffset(r.begin)));
-      ERMIA_CHECK(written == static_cast<ssize_t>(n));
+      // A write failure here is unrecoverable: the range was completed, so
+      // committers may already be waiting on it. Panicking is the only
+      // answer that cannot acknowledge a commit whose bytes never landed.
+      ERMIA_CHECK(fault::PwriteAll(seg->fd, buf.data(), n,
+                                   static_cast<off_t>(
+                                       seg->FileOffset(r.begin))));
       if (config_.synchronous_commit &&
           (touched.empty() || touched.back() != seg)) {
         touched.push_back(seg);
       }
     }
-    for (LogSegment* seg : touched) ::fdatasync(seg->fd);
+    // fsync failure is equally fatal (fsync-gate semantics): after a failed
+    // fdatasync the page cache state is unknowable, so advancing
+    // durable_offset_ — and thereby acking commits — would be a lie.
+    for (LogSegment* seg : touched) ERMIA_CHECK(fault::Fdatasync(seg->fd) == 0);
   }
   {
     std::lock_guard<std::mutex> lk(flush_mu_);
@@ -373,10 +380,12 @@ Status LogManager::ReadDurable(uint64_t offset, void* dst,
   for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
     const LogSegment* seg = it->get();
     if (offset >= seg->start_offset && offset + size <= seg->end_offset) {
-      ssize_t n = ::pread(seg->fd, dst, size,
-                          static_cast<off_t>(seg->FileOffset(offset)));
-      if (n != static_cast<ssize_t>(size)) {
-        return Status::IOError("short log read");
+      bool hard_error = false;
+      if (fault::PreadFull(seg->fd, dst, size,
+                           static_cast<off_t>(seg->FileOffset(offset)),
+                           &hard_error) != size) {
+        return Status::IOError(hard_error ? "log read failed"
+                                          : "short log read");
       }
       return Status::OK();
     }

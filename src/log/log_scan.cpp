@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/fault_injection.h"
+
 namespace ermia {
 
 namespace {
@@ -50,6 +52,39 @@ Status LogScanner::Init() {
   return Status::OK();
 }
 
+// Both Scan() and FindTail() truncate the log at the first block that fails
+// this predicate; anything beyond it is a torn write or stale bytes from a
+// previous incarnation, never acknowledged work (contiguous group flush).
+// `payload` is only filled for payload-bearing blocks.
+bool LogScanner::ReadValidBlock(const LogSegment& seg, uint64_t pos,
+                                uint64_t file_size, LogBlockHeader* hdr,
+                                std::vector<char>* payload) const {
+  if (pos + kHeaderSize > file_size) return false;
+  bool hard_error = false;
+  if (fault::PreadFull(seg.fd, hdr, sizeof *hdr, static_cast<off_t>(pos),
+                       &hard_error) != sizeof *hdr) {
+    return false;
+  }
+  const uint64_t seg_span = seg.end_offset - seg.start_offset;
+  if (hdr->magic != kLogBlockMagic || hdr->offset != seg.start_offset + pos ||
+      hdr->total_size < kHeaderSize || hdr->total_size > seg_span - pos) {
+    return false;
+  }
+  // Skip blocks carry no payload bytes on disk (the region past the header
+  // is never written), so they are valid on the header alone.
+  if (hdr->type == LogBlockType::kSkip) return true;
+  if (kHeaderSize + hdr->payload_bytes > hdr->total_size) return false;
+  if (pos + kHeaderSize + hdr->payload_bytes > file_size) return false;
+  payload->resize(hdr->payload_bytes);
+  if (hdr->payload_bytes > 0 &&
+      fault::PreadFull(seg.fd, payload->data(), hdr->payload_bytes,
+                       static_cast<off_t>(pos + kHeaderSize),
+                       &hard_error) != hdr->payload_bytes) {
+    return false;
+  }
+  return LogChecksum(payload->data(), payload->size()) == hdr->checksum;
+}
+
 Status LogScanner::Scan(uint64_t from_offset,
                         const std::function<void(const ScannedBlock&)>& cb) {
   bool stop = false;
@@ -71,17 +106,12 @@ Status LogScanner::ScanSegment(
   uint64_t pos = 0;
   if (from_offset > seg.start_offset) pos = from_offset - seg.start_offset;
 
+  LogBlockHeader hdr;
   std::vector<char> payload;
   while (pos + kHeaderSize <= file_size) {
-    LogBlockHeader hdr;
-    if (::pread(seg.fd, &hdr, sizeof hdr, static_cast<off_t>(pos)) !=
-        static_cast<ssize_t>(sizeof hdr)) {
-      return Status::IOError("short header read");
-    }
-    if (hdr.magic != kLogBlockMagic ||
-        hdr.offset != seg.start_offset + pos ||
-        hdr.total_size < kHeaderSize) {
-      // First hole: everything beyond this point is not durably committed.
+    if (!ReadValidBlock(seg, pos, file_size, &hdr, &payload)) {
+      // First hole or torn block: everything beyond this point is not
+      // durably committed — the same truncation point FindTail() computes.
       *stop = true;
       return Status::OK();
     }
@@ -89,21 +119,10 @@ Status LogScanner::ScanSegment(
       pos += hdr.total_size;
       continue;
     }
-    payload.resize(hdr.payload_bytes);
-    if (hdr.payload_bytes > 0 &&
-        ::pread(seg.fd, payload.data(), hdr.payload_bytes,
-                static_cast<off_t>(pos + kHeaderSize)) !=
-            static_cast<ssize_t>(hdr.payload_bytes)) {
-      *stop = true;
-      return Status::OK();
-    }
-    if (LogChecksum(payload.data(), payload.size()) != hdr.checksum) {
-      *stop = true;  // torn block: truncate here
-      return Status::OK();
-    }
 
     ScannedBlock block;
     block.offset = hdr.offset;
+    block.end_offset = hdr.offset + hdr.total_size;
     const char* p = payload.data();
     const char* end = p + payload.size();
     for (uint32_t i = 0; i < hdr.num_records; ++i) {
@@ -137,28 +156,23 @@ Status LogScanner::ScanSegment(
 uint64_t LogScanner::FindTail() {
   uint64_t tail =
       segments_.empty() ? kLogStartOffset : segments_.front().start_offset;
-  bool stop = false;
+  LogBlockHeader hdr;
+  std::vector<char> payload;
   for (const auto& seg : segments_) {
     struct stat st;
-    if (::fstat(seg.fd, &st) != 0) break;
+    if (::fstat(seg.fd, &st) != 0) return tail;
     const uint64_t file_size = static_cast<uint64_t>(st.st_size);
     uint64_t pos = 0;
-    while (pos + sizeof(LogBlockHeader) <= file_size) {
-      LogBlockHeader hdr;
-      if (::pread(seg.fd, &hdr, sizeof hdr, static_cast<off_t>(pos)) !=
-          static_cast<ssize_t>(sizeof hdr)) {
-        stop = true;
-        break;
-      }
-      if (hdr.magic != kLogBlockMagic || hdr.offset != seg.start_offset + pos ||
-          hdr.total_size < sizeof(LogBlockHeader)) {
-        stop = true;
-        break;
-      }
+    while (pos + kHeaderSize <= file_size) {
+      // Same predicate as Scan(): a block whose header looks fine but whose
+      // payload is torn (missing bytes, checksum mismatch) must NOT advance
+      // the tail — adopting a tail past a torn block would make every block
+      // appended after reopen unreachable at the next recovery (Scan stops
+      // at the torn block, orphaning the reopened log's suffix).
+      if (!ReadValidBlock(seg, pos, file_size, &hdr, &payload)) return tail;
       pos += hdr.total_size;
       tail = seg.start_offset + pos;
     }
-    if (stop) break;
   }
   return tail;
 }
@@ -166,10 +180,12 @@ uint64_t LogScanner::FindTail() {
 Status LogScanner::ReadAt(uint64_t offset, void* dst, uint32_t size) const {
   for (const auto& seg : segments_) {
     if (offset >= seg.start_offset && offset + size <= seg.end_offset) {
-      if (::pread(seg.fd, dst, size,
-                  static_cast<off_t>(offset - seg.start_offset)) !=
-          static_cast<ssize_t>(size)) {
-        return Status::IOError("short payload read");
+      bool hard_error = false;
+      if (fault::PreadFull(seg.fd, dst, size,
+                           static_cast<off_t>(offset - seg.start_offset),
+                           &hard_error) != size) {
+        return hard_error ? Status::IOError("payload read failed")
+                          : Status::IOError("short payload read");
       }
       return Status::OK();
     }

@@ -31,7 +31,8 @@ struct ScannedRecord {
 };
 
 struct ScannedBlock {
-  uint64_t offset;  // block start: the transaction's commit offset
+  uint64_t offset;      // block start: the transaction's commit offset
+  uint64_t end_offset;  // one past the block (offset + total_size)
   std::vector<ScannedRecord> records;
 };
 
@@ -54,11 +55,16 @@ class LogScanner {
 
   // One past the last valid block in the durable log (the truncation point a
   // restarted log manager resumes appending from). kLogStartOffset if empty.
+  // Applies the same block-validity predicate (header coherence + payload
+  // checksum) as Scan(), so the adopted tail never lies past a torn block.
   uint64_t FindTail();
 
   const std::vector<LogSegment>& segments() const { return segments_; }
 
  private:
+  bool ReadValidBlock(const LogSegment& seg, uint64_t pos, uint64_t file_size,
+                      LogBlockHeader* hdr, std::vector<char>* payload) const;
+
   Status ScanSegment(const LogSegment& seg, uint64_t from_offset,
                      const std::function<void(const ScannedBlock&)>& cb,
                      bool* stop);

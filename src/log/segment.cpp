@@ -6,6 +6,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "common/fault_injection.h"
+
 namespace ermia {
 
 std::string SegmentFileName(uint32_t segnum, uint64_t start, uint64_t end) {
@@ -36,11 +38,15 @@ Status CreateSegmentFile(const std::string& dir, LogSegment* seg) {
   }
   seg->path =
       dir + "/" + SegmentFileName(seg->segnum, seg->start_offset, seg->end_offset);
-  seg->fd = ::open(seg->path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
+  seg->fd = fault::CreateFile(seg->path.c_str(), O_CREAT | O_RDWR | O_TRUNC,
+                              0644);
   if (seg->fd < 0) {
     return Status::IOError("cannot create log segment " + seg->path);
   }
-  return Status::OK();
+  // The segment's directory entry must be durable before any block written
+  // to it is acknowledged: a crash that keeps the file's blocks but loses
+  // its dirent would silently drop the whole segment from recovery's view.
+  return fault::SyncDir(dir);
 }
 
 }  // namespace ermia

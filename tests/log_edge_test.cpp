@@ -4,6 +4,10 @@
 // the scan's handling of segments that end exactly on a block boundary.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -159,6 +163,124 @@ TEST(LogScanEdgeTest, SegmentEndingExactlyOnBlockBoundary) {
           .ok());
   EXPECT_EQ(blocks, n);
   testing::RemoveDir(dir);
+}
+
+// ---- torn-tail truncation ------------------------------------------------
+// FindTail() and Scan() must apply the same block-validity predicate. If
+// FindTail accepts a block Scan rejects (the historical bug: header checks
+// without the payload checksum), the reopened log adopts a tail past the
+// torn block, appends land beyond unreachable garbage, and the next
+// recovery's scan — stopping at the torn block — silently drops them.
+class TornTailTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::MakeTempDir();
+    EngineConfig config;
+    config.log_dir = dir_;
+    LogManager log(config);
+    ASSERT_TRUE(log.Open().ok());
+    for (int i = 0; i < 8; ++i) {
+      Lsn lsn = log.ReserveBlock(256);
+      auto block = MakeBlock(lsn.offset(), 256);
+      log.InstallBlock(lsn, block.data(), 256);
+      last_block_ = lsn.offset();
+    }
+    log.WaitForDurable(log.CurrentOffset());
+    tail_ = log.CurrentOffset();
+    log.Close();
+    LogScanner scanner(dir_);
+    ASSERT_TRUE(scanner.Init().ok());
+    ASSERT_EQ(scanner.segments().size(), 1u);
+    path_ = scanner.segments().back().path;
+  }
+  void TearDown() override { testing::RemoveDir(dir_); }
+
+  struct Probe {
+    uint64_t find_tail;
+    uint64_t scan_stop;  // end_offset of the last block Scan delivers
+  };
+
+  Probe ProbeTail() {
+    Probe p{0, kLogStartOffset};
+    LogScanner scanner(dir_);
+    EXPECT_TRUE(scanner.Init().ok());
+    p.find_tail = scanner.FindTail();
+    LogScanner rescanner(dir_);
+    EXPECT_TRUE(rescanner.Init().ok());
+    EXPECT_TRUE(rescanner
+                    .Scan(kLogStartOffset,
+                          [&](const ScannedBlock& b) {
+                            p.scan_stop = b.end_offset;
+                          })
+                    .ok());
+    return p;
+  }
+
+  uint64_t FileSize() {
+    struct stat st{};
+    EXPECT_EQ(::stat(path_.c_str(), &st), 0);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  std::string dir_;
+  std::string path_;
+  uint64_t last_block_ = 0;  // offset of the final installed block
+  uint64_t tail_ = 0;        // one past it
+};
+
+TEST_F(TornTailTest, IntactLogAgreesEverywhere) {
+  const Probe p = ProbeTail();
+  EXPECT_EQ(p.find_tail, tail_);
+  EXPECT_EQ(p.scan_stop, tail_);
+}
+
+TEST_F(TornTailTest, TruncateMidPayload) {
+  // Chop 40 bytes off the last block: header intact, payload short.
+  ASSERT_EQ(::truncate(path_.c_str(), FileSize() - 40), 0);
+  const Probe p = ProbeTail();
+  EXPECT_EQ(p.find_tail, last_block_);
+  EXPECT_EQ(p.scan_stop, p.find_tail);
+}
+
+TEST_F(TornTailTest, CorruptPayloadByte) {
+  // Flip one payload byte of the last block: length-complete, checksum bad.
+  int fd = ::open(path_.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  char b;
+  const off_t at = static_cast<off_t>(FileSize()) - 5;
+  ASSERT_EQ(::pread(fd, &b, 1, at), 1);
+  b ^= 0x40;
+  ASSERT_EQ(::pwrite(fd, &b, 1, at), 1);
+  ::close(fd);
+  const Probe p = ProbeTail();
+  EXPECT_EQ(p.find_tail, last_block_);
+  EXPECT_EQ(p.scan_stop, p.find_tail);
+}
+
+TEST_F(TornTailTest, HeaderValidPayloadTorn) {
+  // Append a block whose 32-byte header is fully valid but whose payload
+  // was torn mid-write — the exact shape a crashed group flush leaves. The
+  // old header-only FindTail adopted it.
+  auto block = MakeBlock(tail_, 256);
+  int fd = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::write(fd, block.data(), 100), 100);
+  ::close(fd);
+  const Probe p = ProbeTail();
+  EXPECT_EQ(p.find_tail, tail_);
+  EXPECT_EQ(p.scan_stop, p.find_tail);
+}
+
+TEST_F(TornTailTest, GarbageAppended) {
+  std::string garbage(96, '\x5A');
+  int fd = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::write(fd, garbage.data(), garbage.size()),
+            static_cast<ssize_t>(garbage.size()));
+  ::close(fd);
+  const Probe p = ProbeTail();
+  EXPECT_EQ(p.find_tail, tail_);
+  EXPECT_EQ(p.scan_stop, p.find_tail);
 }
 
 // Engine-level synchronous commit: transactions return only after their log

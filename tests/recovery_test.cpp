@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <string>
 #include <vector>
 
+#include "engine/checkpoint_format.h"
 #include "log/log_scan.h"
 #include "test_util.h"
 
@@ -68,6 +70,52 @@ class RecoveryTest : public ::testing::Test {
     std::string out = s.ok() ? v.ToString() : "<" + s.ToString() + ">";
     EXPECT_TRUE(txn.Commit().ok());
     return out;
+  }
+
+  void Delete(const std::string& key) {
+    Transaction txn(db_->get(), CcScheme::kSi);
+    Oid oid = 0;
+    ASSERT_TRUE(txn.GetOid(pk_, key, &oid).ok());
+    ASSERT_TRUE(txn.Delete(table_, oid).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+
+  // Appends a block whose header is fully valid but whose payload was torn
+  // mid-write — what a crashed group flush leaves at the tail. Call with the
+  // database shut down.
+  void AppendHeaderValidTornBlock() {
+    LogScanner scanner(db_->dir());
+    ASSERT_TRUE(scanner.Init().ok());
+    ASSERT_FALSE(scanner.segments().empty());
+    const LogSegment& seg = scanner.segments().back();
+    struct stat st{};
+    ASSERT_EQ(::stat(seg.path.c_str(), &st), 0);
+    const uint64_t tail = seg.start_offset + static_cast<uint64_t>(st.st_size);
+
+    std::vector<char> block(256, 'q');
+    LogBlockHeader hdr{};
+    hdr.magic = kLogBlockMagic;
+    hdr.type = LogBlockType::kTxn;
+    hdr.offset = tail;
+    hdr.total_size = 256;
+    hdr.payload_bytes = 256 - sizeof hdr;
+    hdr.checksum = LogChecksum(block.data() + sizeof hdr, hdr.payload_bytes);
+    std::memcpy(block.data(), &hdr, sizeof hdr);
+
+    int fd = ::open(seg.path.c_str(), O_WRONLY | O_APPEND);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::write(fd, block.data(), 100), 100);  // torn after the header
+    ::close(fd);
+  }
+
+  void CorruptFileByte(const std::string& path, off_t at) {
+    int fd = ::open(path.c_str(), O_RDWR);
+    ASSERT_GE(fd, 0) << path;
+    char b;
+    ASSERT_EQ(::pread(fd, &b, 1, at), 1);
+    b ^= 0x40;
+    ASSERT_EQ(::pwrite(fd, &b, 1, at), 1);
+    ::close(fd);
   }
 
   EngineConfig config_;
@@ -369,6 +417,223 @@ TEST_F(RecoveryTest, LargeRecoveryVolume) {
                   .ok());
   EXPECT_EQ(count, kN);
   EXPECT_TRUE(txn.Commit().ok());
+}
+
+// Regression for the torn-tail adoption bug: FindTail used to validate only
+// block headers, so a header-valid/payload-torn block at the tail was kept,
+// the reopened log appended PAST it, and the next recovery — whose Scan
+// stops at the torn block — silently lost every post-reopen commit.
+TEST_F(RecoveryTest, PostReopenCommitsSurviveSecondRecoveryAfterTornTail) {
+  Put("pre", "1");
+  db_->ShutDown();
+  AppendHeaderValidTornBlock();
+
+  // First recovery: the torn block must be truncated, not adopted.
+  db_->Restart(config_);
+  table_ = (*db_)->CreateTable("t");
+  pk_ = (*db_)->CreateIndex(table_, "t_pk");
+  sec_ = (*db_)->CreateIndex(table_, "t_sec");
+  ASSERT_TRUE((*db_)->Open().ok());
+  ASSERT_TRUE((*db_)->Recover().ok());
+  EXPECT_EQ(Get(pk_, "pre"), "1");
+
+  // These commits are acknowledged (synchronous commit)...
+  Put("post1", "2");
+  Put("post2", "3");
+
+  // ...so the second recovery must see them. With the old FindTail they sat
+  // beyond the torn block, unreachable.
+  Restart();
+  EXPECT_EQ(Get(pk_, "pre"), "1");
+  EXPECT_EQ(Get(pk_, "post1"), "2");
+  EXPECT_EQ(Get(pk_, "post2"), "3");
+}
+
+// ---- checkpoint fallback --------------------------------------------------
+
+TEST_F(RecoveryTest, CorruptNewestCheckpointFallsBackToOlder) {
+  Put("a", "1");
+  uint64_t begin1 = 0;
+  ASSERT_TRUE((*db_)->TakeCheckpoint(&begin1).ok());
+  Put("b", "2");
+  uint64_t begin2 = 0;
+  ASSERT_TRUE((*db_)->TakeCheckpoint(&begin2).ok());
+  Put("c", "3");
+  db_->ShutDown();
+  CorruptFileByte(db_->dir() + "/" + CheckpointDataName(begin2), 12);
+
+  Restart();  // asserts Recover().ok(): corruption must not be fatal
+  EXPECT_EQ(Get(pk_, "a"), "1");
+  EXPECT_EQ(Get(pk_, "b"), "2");
+  EXPECT_EQ(Get(pk_, "c"), "3");
+}
+
+TEST_F(RecoveryTest, AllCheckpointsCorruptFallsBackToFullReplay) {
+  Put("a", "1");
+  uint64_t begin1 = 0;
+  ASSERT_TRUE((*db_)->TakeCheckpoint(&begin1).ok());
+  Put("b", "2");
+  uint64_t begin2 = 0;
+  ASSERT_TRUE((*db_)->TakeCheckpoint(&begin2).ok());
+  Put("c", "3");
+  db_->ShutDown();
+  CorruptFileByte(db_->dir() + "/" + CheckpointDataName(begin1), 12);
+  CorruptFileByte(db_->dir() + "/" + CheckpointDataName(begin2), 12);
+
+  Restart();
+  EXPECT_EQ(Get(pk_, "a"), "1");
+  EXPECT_EQ(Get(pk_, "b"), "2");
+  EXPECT_EQ(Get(pk_, "c"), "3");
+}
+
+TEST_F(RecoveryTest, MissingCheckpointDataFileFallsBack) {
+  Put("a", "1");
+  uint64_t begin1 = 0;
+  ASSERT_TRUE((*db_)->TakeCheckpoint(&begin1).ok());
+  Put("b", "2");
+  uint64_t begin2 = 0;
+  ASSERT_TRUE((*db_)->TakeCheckpoint(&begin2).ok());
+  Put("c", "3");
+  db_->ShutDown();
+  // Marker present, data gone: the stale-marker shape a crash between
+  // unlink-style cleanup steps (or manual tampering) can leave.
+  ASSERT_EQ(
+      ::unlink((db_->dir() + "/" + CheckpointDataName(begin2)).c_str()), 0);
+
+  Restart();
+  EXPECT_EQ(Get(pk_, "a"), "1");
+  EXPECT_EQ(Get(pk_, "b"), "2");
+  EXPECT_EQ(Get(pk_, "c"), "3");
+}
+
+TEST_F(RecoveryTest, TruncatedCheckpointFallsBack) {
+  Put("a", "1");
+  uint64_t begin = 0;
+  ASSERT_TRUE((*db_)->TakeCheckpoint(&begin).ok());
+  Put("b", "2");
+  db_->ShutDown();
+  const std::string path = db_->dir() + "/" + CheckpointDataName(begin);
+  struct stat st{};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  ASSERT_EQ(::truncate(path.c_str(), st.st_size - 5), 0);  // tear the footer
+
+  Restart();  // falls back to full replay
+  EXPECT_EQ(Get(pk_, "a"), "1");
+  EXPECT_EQ(Get(pk_, "b"), "2");
+}
+
+// A key deleted before a checkpoint and re-inserted after it reuses its OID
+// (tombstone overwrite), logging only an update — no fresh index-insert
+// record. The checkpoint must therefore dump tombstoned entries: their index
+// entry is the only durable key→OID mapping left. Found by the
+// crash-recovery harness.
+TEST_F(RecoveryTest, DeletedKeyReinsertedAfterCheckpointRecovers) {
+  Put("k", "v1");
+  Delete("k");
+  ASSERT_TRUE((*db_)->TakeCheckpoint(nullptr).ok());
+  Put("k", "v2");  // OID reuse: logs kUpdate, not kInsert+kIndexInsert
+  Put("other", "x");
+  Restart();
+  EXPECT_EQ(Get(pk_, "k"), "v2");
+  EXPECT_EQ(Get(pk_, "other"), "x");
+  // And a key deleted before the checkpoint that stays deleted stays gone.
+  Put("gone", "y");
+  Delete("gone");
+  ASSERT_TRUE((*db_)->TakeCheckpoint(nullptr).ok());
+  Restart();
+  EXPECT_EQ(Get(pk_, "gone"), "<NOT_FOUND>");
+  EXPECT_EQ(Get(pk_, "k"), "v2");
+}
+
+// ---- post-recovery visibility across CC schemes ---------------------------
+
+TEST_F(RecoveryTest, TombstonesInvisibleToAllSchemesAfterRecovery) {
+  Put("keep1", "a", "skeep1");
+  Put("dead1", "b", "sdead1");
+  Put("keep2", "c", "skeep2");
+  Put("dead2", "d", "sdead2");
+  Delete("dead1");
+  Delete("dead2");
+  Restart();
+
+  for (CcScheme scheme :
+       {CcScheme::kSi, CcScheme::kSiSsn, CcScheme::kOcc, CcScheme::k2pl}) {
+    SCOPED_TRACE(CcSchemeName(scheme));
+    // Point reads: tombstoned heads must read as NotFound via both indexes.
+    for (const char* dead : {"dead1", "dead2"}) {
+      Transaction txn(db_->get(), scheme);
+      Slice v;
+      EXPECT_TRUE(txn.Get(pk_, dead, &v).IsNotFound()) << dead;
+      EXPECT_TRUE(txn.Get(sec_, std::string("s") + dead, &v).IsNotFound());
+      ASSERT_TRUE(txn.Commit().ok());
+    }
+    {
+      Transaction txn(db_->get(), scheme);
+      Slice v;
+      ASSERT_TRUE(txn.Get(pk_, "keep1", &v).ok());
+      EXPECT_EQ(v.ToString(), "a");
+      ASSERT_TRUE(txn.Get(sec_, "skeep2", &v).ok());
+      EXPECT_EQ(v.ToString(), "c");
+      ASSERT_TRUE(txn.Commit().ok());
+    }
+    // Range scans: tombstoned records are skipped, not delivered.
+    {
+      Transaction txn(db_->get(), scheme);
+      std::vector<std::string> keys;
+      ASSERT_TRUE(txn.Scan(pk_, "", "", -1,
+                           [&](const Slice& k, const Slice&) {
+                             keys.push_back(k.ToString());
+                             return true;
+                           })
+                      .ok());
+      EXPECT_EQ(keys, (std::vector<std::string>{"keep1", "keep2"}));
+      ASSERT_TRUE(txn.Commit().ok());
+    }
+    {
+      Transaction txn(db_->get(), scheme);
+      std::vector<std::string> keys;
+      ASSERT_TRUE(txn.Scan(sec_, "s", "", -1,
+                           [&](const Slice& k, const Slice&) {
+                             keys.push_back(k.ToString());
+                             return true;
+                           })
+                      .ok());
+      EXPECT_EQ(keys, (std::vector<std::string>{"skeep1", "skeep2"}));
+      ASSERT_TRUE(txn.Commit().ok());
+    }
+  }
+}
+
+// ---- lazy roll-forward ----------------------------------------------------
+
+// Without a checkpoint, the whole state comes from tail replay; under
+// lazy_recovery the replayed records must be installed as payload-less stubs
+// that materialize on first access — not eagerly fetched.
+TEST_F(RecoveryTest, LazyRollForwardInstallsStubs) {
+  Put("s1", "v1");
+  Put("s2", "v2");
+  EngineConfig lazy = config_;
+  lazy.lazy_recovery = true;
+  db_->ShutDown();
+  db_->Restart(lazy);
+  table_ = (*db_)->CreateTable("t");
+  pk_ = (*db_)->CreateIndex(table_, "t_pk");
+  sec_ = (*db_)->CreateIndex(table_, "t_sec");
+  ASSERT_TRUE((*db_)->Open().ok());
+  ASSERT_TRUE((*db_)->Recover().ok());
+
+  Oid oid = 0;
+  NodeHandle handle;
+  ASSERT_TRUE(pk_->tree().Lookup("s1", &oid, &handle));
+  Version* head = table_->array().Head(oid);
+  ASSERT_NE(head, nullptr);
+  EXPECT_TRUE(head->stub) << "tail replay must install stubs under lazy mode";
+
+  EXPECT_EQ(Get(pk_, "s1"), "v1");  // first access materializes
+  head = table_->array().Head(oid);
+  ASSERT_NE(head, nullptr);
+  EXPECT_FALSE(head->stub) << "materialization should swap the chain head";
+  EXPECT_EQ(Get(pk_, "s2"), "v2");
 }
 
 }  // namespace
