@@ -25,3 +25,18 @@ done
 # durability path. A short sweep keeps the wall-clock sane under TSan.
 echo "=== crash_recovery_harness (tsan, 8 seeds) ==="
 ERMIA_CRASH_SEEDS=8 "$BUILD_DIR/tests/crash_recovery_harness"
+
+# Parallel-replay pass: the same sweep with the partitioned recovery pipeline
+# forced wide (dispatcher + 6 install workers), so TSan sees the replay
+# queues, the per-partition installs, and the checkpoint/tail barrier under
+# real contention even on small CI machines. The harness's differential step
+# also re-runs the serial path, so both recovery paths are exercised here.
+echo "=== crash_recovery_harness (tsan, parallel replay, 6 workers) ==="
+ERMIA_CRASH_SEEDS=8 ERMIA_RECOVERY_THREADS=6 \
+  "$BUILD_DIR/tests/crash_recovery_harness"
+
+# The replay pipeline itself, across the full recovery unit suite (both the
+# Serial and Parallel4 parameterizations).
+cmake --build "$BUILD_DIR" -j --target recovery_test
+echo "=== recovery_test (tsan) ==="
+"$BUILD_DIR/tests/recovery_test"

@@ -40,6 +40,7 @@ std::string BenchResult::ToJson() const {
   w.BeginObject();
   w.Field("seconds", seconds);
   w.Field("threads", static_cast<uint64_t>(threads));
+  w.Field("recovery_ms", recovery_ms);
   w.Field("tps", tps());
   w.Field("commits", total_commits());
   w.Field("aborts", total_aborts());

@@ -38,6 +38,10 @@ struct TxnTypeStats {
 struct BenchResult {
   double seconds = 0;
   uint32_t threads = 0;
+  // Wall-clock time spent in Database::Recover() when the producing binary
+  // reopened an existing database before (or instead of) the run; 0 when no
+  // recovery happened. Filled by the binary, not by RunBench.
+  double recovery_ms = 0;
   std::vector<std::string> type_names;
   std::vector<TxnTypeStats> per_type;
   // Run-scoped delta of the engine metrics snapshot (abort reasons, log

@@ -96,6 +96,53 @@ Status Transaction::OccUpdate(Table* table, Oid oid, const Slice& value,
   return Status::OK();
 }
 
+// Commit path for an OCC transaction that read but staged no writes. Silo's
+// serializability argument hinges on commit-time read validation: each read
+// observed "latest committed" at its own instant, and validation proves the
+// whole set still holds at one instant (the serialization point). The
+// generic reader-only fast path in Transaction::Commit() must therefore not
+// apply here — a descheduled reader could otherwise commit a multi-time
+// (inconsistent) view it assembled across many foreign commits. No commit
+// stamp or log block is needed: the transaction publishes nothing.
+Status Transaction::OccReadOnlyCommit() {
+  ctx_->StoreState(TxnState::kCommitting);
+  // Same walk as OccCommit phase 2. With an empty write set there are no own
+  // installs to skip, so this degenerates to "the observed version is still
+  // the head"; a foreign in-flight intent on top counts as a conflict
+  // (writer-wins, as in the write-bearing path).
+  bool valid = true;
+  for (const auto& r : read_set_) {
+    Version* v = r.slot->load(std::memory_order_acquire);
+    while (v != nullptr && v != r.version) {
+      const uint64_t s = v->clsn.load(std::memory_order_acquire);
+      if (!IsTidStamp(s) || TidFromStamp(s) != tid_) break;
+      v = v->next.load(std::memory_order_acquire);
+    }
+    if (v != r.version) {
+      valid = false;
+      break;
+    }
+  }
+  Status failure;
+  if (!valid) {
+    MarkAbort(metrics::AbortReason::kOccReadValidation);
+    failure = Status::Aborted("occ read validation");
+  } else {
+    Status ns = NodeSetValidate();
+    if (!ns.ok()) {
+      MarkAbort(metrics::AbortReason::kPhantom);
+      failure = ns;
+    }
+  }
+  if (!failure.ok()) {
+    Abort();
+    return failure;
+  }
+  ctx_->StoreState(TxnState::kCommitted);
+  Finish(true);
+  return Status::OK();
+}
+
 Status Transaction::OccCommit() {
   // Phase 1: install write intents. The CAS succeeds only if the head is
   // still the version the intent was built against — it is simultaneously

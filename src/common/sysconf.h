@@ -71,6 +71,15 @@ struct EngineConfig {
   // modeled as a periodically advanced snapshot LSN).
   uint64_t occ_snapshot_interval_ms = 20;
 
+  // Recovery parallelism: number of replay worker threads for checkpoint
+  // loading and log-tail replay. Records are partitioned by hash(table, OID)
+  // (index entries by hash(index, key)), so per-chain LSN order is preserved
+  // with no cross-worker coordination — the property the indirection arrays
+  // (§3.2) and segmented LSN space (§3.3) were designed to enable. 0 = use
+  // the hardware concurrency; 1 = the legacy single-threaded path, kept for
+  // differential testing (the crash harness proves parallel ≡ serial state).
+  uint32_t recovery_threads = 0;
+
   // Anti-caching-style lazy recovery (paper §3.7 future work): restore only
   // OID -> durable-address stubs from the checkpoint and fault payloads in
   // from the log on first access. Trades first-access latency for near-

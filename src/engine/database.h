@@ -139,8 +139,13 @@ class Database {
   friend class Transaction;
 
   // Installs a parsed, checksum-verified checkpoint image (an opaque
-  // recovery.cpp CheckpointImage) into the OID arrays and indexes.
-  Status ApplyCheckpointImage(const void* image, LogScanner& scanner);
+  // recovery.cpp CheckpointImage) into the OID arrays and indexes, using
+  // `workers` install threads (<=1 = serial path).
+  Status ApplyCheckpointImage(const void* image, LogScanner& scanner,
+                              uint32_t workers);
+
+  // Recover() body; the wrapper adds wall-clock accounting.
+  Status RecoverImpl();
 
   EngineConfig config_;
   // Declared before every subsystem that holds a pointer into it (log_, gc_,

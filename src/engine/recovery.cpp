@@ -5,6 +5,30 @@
 // is identical after a clean shutdown and after a crash; a crash merely means
 // a less recent checkpoint and a longer tail.
 //
+// Parallel replay (EngineConfig::recovery_threads): the indirection arrays
+// (§3.2) and segmented LSN space (§3.3) make replay embarrassingly parallel —
+// the only ordering that matters is per version chain (per OID), and per key
+// within one index. A single scan/dispatch stage walks durable blocks in
+// offset order (reusing ReadValidBlock's torn-tail predicate) and routes
+// records to N partition queues:
+//
+//   * table records (insert/update/delete) by hash(table fid, OID) — one
+//     worker owns each chain, so clsn-ordered install needs no atomics
+//     beyond the slot store, and chains rebuild in exactly log order;
+//   * index records by hash(index fid, key) — the B+-tree is the concurrent
+//     OLC tree used in normal operation, and first-insert-wins per key is
+//     preserved because one worker sees each key's inserts in log order.
+//
+// Checkpoint loading parallelizes the same way: entries are routed by
+// hash(table fid, OID) so the primary/secondary dedup rule (install once,
+// clsn check) runs on one worker per OID; the image is fully parsed and
+// checksum-verified before anything is dispatched, and the checkpoint phase
+// completes (workers joined) before tail replay starts, so the serial
+// ordering invariants — checkpoint before tail, per-chain LSN order,
+// tombstone reinstall, lazy stubs — all carry over. recovery_threads=1 keeps
+// the legacy single-threaded path; the crash harness's differential sweep
+// asserts parallel ≡ serial state.
+//
 // Checkpoint fallback: markers are tried newest-to-oldest. A checkpoint data
 // file is parsed and checksum-verified IN FULL before a single version or
 // index entry is installed, so a torn or corrupt checkpoint never pollutes
@@ -20,10 +44,16 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fault_injection.h"
@@ -188,8 +218,10 @@ Status LoadCheckpointImage(const std::string& path, CheckpointImage* img) {
   return Status::OK();
 }
 
-// Installs (or refreshes) a record version during recovery. Single-threaded,
-// so plain stores suffice; `clsn_value` orders competing records.
+// Installs (or refreshes) a record version during recovery. Within one
+// replay, each (table, OID) is touched by exactly one thread — the serial
+// path trivially, the parallel path by partition routing — so plain stores
+// suffice; `clsn_value` orders competing records.
 void InstallRecovered(Table* table, Oid oid, const Slice& payload,
                       bool tombstone, uint64_t clsn_value, uint64_t log_ptr) {
   IndirectionArray& array = table->array();
@@ -223,6 +255,201 @@ void InstallRecoveredStub(Table* table, Oid oid, uint32_t size,
   array.PutHead(oid, v);
 }
 
+// ---------------------------------------------------------------------------
+// Partitioned replay pipeline
+// ---------------------------------------------------------------------------
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Table records: all versions of one OID chain go to one worker.
+uint32_t ChainPartition(Fid fid, Oid oid, uint32_t n) {
+  return static_cast<uint32_t>(
+      Mix64((static_cast<uint64_t>(fid) << 32) | oid) % n);
+}
+
+// Index records: all inserts of one (index, key) go to one worker, so the
+// serial first-insert-wins outcome per key is reproduced exactly.
+uint32_t KeyPartition(Fid fid, const char* key, size_t len, uint32_t n) {
+  uint64_t h = 14695981039346656037ull ^ fid;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<uint8_t>(key[i]);
+    h *= 1099511628211ull;
+  }
+  return static_cast<uint32_t>(h % n);
+}
+
+// Bounded batch queue, one per partition: the scan/dispatch stage is the
+// single producer, one install worker the single consumer. Bounded depth so
+// a fast scan over a multi-GB log cannot balloon memory if installs lag.
+template <typename T>
+class ReplayQueue {
+ public:
+  void Push(std::vector<T>&& batch) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_space_.wait(lk, [this] { return q_.size() < kMaxDepth; });
+    q_.push_back(std::move(batch));
+    cv_items_.notify_one();
+  }
+
+  // Blocks for the next batch; false once closed and fully drained.
+  bool Pop(std::vector<T>* out) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_items_.wait(lk, [this] { return !q_.empty() || closed_; });
+    if (q_.empty()) return false;
+    *out = std::move(q_.front());
+    q_.pop_front();
+    cv_space_.notify_one();
+    return true;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+    cv_items_.notify_all();
+  }
+
+ private:
+  static constexpr size_t kMaxDepth = 16;
+
+  std::mutex mu_;
+  std::condition_variable cv_items_;
+  std::condition_variable cv_space_;
+  std::deque<std::vector<T>> q_;
+  bool closed_ = false;
+};
+
+// N install workers, each owning one partition queue. The producer calls
+// Route() (single-threaded), then Finish() flushes, closes, joins, and
+// returns the first worker error. After a worker error the remaining queues
+// still drain (items are discarded), so the producer never deadlocks on a
+// full queue.
+template <typename T>
+class ReplayPool {
+ public:
+  ReplayPool(uint32_t workers, metrics::EngineMetrics* metrics,
+             std::function<Status(T&)> handler)
+      : metrics_(metrics),
+        handler_(std::move(handler)),
+        queues_(workers),
+        pending_(workers) {
+    threads_.reserve(workers);
+    for (uint32_t w = 0; w < workers; ++w) {
+      threads_.emplace_back([this, w] { WorkerLoop(w); });
+    }
+  }
+
+  ~ReplayPool() {
+    if (!finished_) (void)Finish();
+  }
+
+  uint32_t partitions() const {
+    return static_cast<uint32_t>(queues_.size());
+  }
+
+  void Route(uint32_t partition, T&& item) {
+    std::vector<T>& pend = pending_[partition];
+    pend.push_back(std::move(item));
+    if (pend.size() >= kBatch) {
+      queues_[partition].Push(std::move(pend));
+      pend.clear();
+    }
+  }
+
+  Status Finish() {
+    finished_ = true;
+    for (size_t p = 0; p < pending_.size(); ++p) {
+      if (!pending_[p].empty()) {
+        queues_[p].Push(std::move(pending_[p]));
+        pending_[p].clear();
+      }
+    }
+    for (auto& q : queues_) q.Close();
+    for (auto& t : threads_) t.join();
+    std::lock_guard<std::mutex> lk(err_mu_);
+    return first_error_;
+  }
+
+ private:
+  static constexpr size_t kBatch = 256;
+
+  void WorkerLoop(uint32_t partition) {
+    std::vector<T> batch;
+    while (queues_[partition].Pop(&batch)) {
+      const auto t0 = std::chrono::steady_clock::now();
+      if (!failed_.load(std::memory_order_relaxed)) {
+        for (T& item : batch) {
+          Status s = handler_(item);
+          if (!s.ok()) {
+            failed_.store(true, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lk(err_mu_);
+            if (first_error_.ok()) first_error_ = s;
+            break;
+          }
+        }
+      }
+      const uint64_t us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      metrics_->Observe(metrics::Hist::kRecoveryBatchRecords, batch.size());
+      metrics_->Observe(metrics::Hist::kRecoveryBatchUs, us);
+      batch.clear();
+    }
+    ThreadRegistry::Deregister();
+  }
+
+  metrics::EngineMetrics* metrics_;
+  std::function<Status(T&)> handler_;
+  std::vector<ReplayQueue<T>> queues_;
+  std::vector<std::vector<T>> pending_;  // producer-side accumulation
+  std::vector<std::thread> threads_;
+  std::atomic<bool> failed_{false};
+  std::mutex err_mu_;
+  Status first_error_;
+  bool finished_ = false;
+};
+
+// One routed checkpoint entry: the image outlives the pool, so entries are
+// referenced in place.
+struct CkptOp {
+  Table* table;
+  Index* index;
+  const CheckpointImage::Entry* entry;
+};
+
+// One routed tail record. Version ops reference payload bytes inside the
+// shared block buffer (no copy until Version::Alloc); `buf` keeps the block
+// alive until every record routed from it is installed.
+struct TailOp {
+  LogRecordType type;
+  Table* table;  // resolved at dispatch (kIndexInsert: the index's table)
+  Index* index;  // kIndexInsert only
+  Oid oid;
+  uint64_t clsn;
+  uint64_t payload_offset;  // durable address of the payload bytes
+  uint32_t key_off;
+  uint32_t payload_off;
+  uint32_t payload_size;
+  uint16_t key_size;
+  std::shared_ptr<const std::vector<char>> buf;
+};
+
+uint32_t ResolveRecoveryThreads(const EngineConfig& config) {
+  uint32_t n = config.recovery_threads;
+  if (n == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = hw == 0 ? 1 : hw;
+  }
+  // The pool shares the dense thread registry with the rest of the engine;
+  // stay well below kMaxThreads.
+  return std::min(n, 64u);
+}
+
 }  // namespace
 
 // Resolves the image against the schema and installs it. The image is
@@ -232,60 +459,96 @@ void InstallRecoveredStub(Table* table, Oid oid, uint32_t size,
 // installed so far are harmless, since they carry true clsns and the
 // clsn-ordered install rule keeps newer state on top.
 Status Database::ApplyCheckpointImage(const void* image_ptr,
-                                      LogScanner& scanner) {
+                                      LogScanner& scanner, uint32_t workers) {
   const auto& img = *static_cast<const CheckpointImage*>(image_ptr);
+  // Resolve every fid before installing anything: schema drift fails the
+  // whole attempt instead of leaving a half-dispatched image behind.
   for (const auto& t : img.tables) {
-    Table* table = TableByFid(t.fid);
-    if (table == nullptr) {
+    if (TableByFid(t.fid) == nullptr) {
       return Status::Corruption("checkpoint references unknown table fid");
     }
-    if (t.hwm > 1) table->array().EnsureAllocatedThrough(t.hwm - 1);
   }
-  std::vector<char> payload;
-  for (const auto& section : img.indexes) {
-    Index* index = IndexByFid(section.fid);
-    if (index == nullptr) {
+  std::vector<Index*> section_index(img.indexes.size());
+  for (size_t i = 0; i < img.indexes.size(); ++i) {
+    section_index[i] = IndexByFid(img.indexes[i].fid);
+    if (section_index[i] == nullptr) {
       return Status::Corruption("checkpoint references unknown index fid");
     }
-    Table* table = index->table();
-    for (const auto& e : section.entries) {
-      // Install the version once (the primary and any secondary index
-      // entries reference the same version; the clsn check deduplicates).
-      if (e.tombstone) {
-        // No payload to fetch or stub: install the tombstone directly. The
-        // index entry below keeps the key→OID mapping alive for replayed
-        // tombstone-overwrite updates.
-        InstallRecovered(table, e.oid, Slice(), true, e.clsn, e.log_ptr);
-      } else if (config_.lazy_recovery) {
-        InstallRecoveredStub(table, e.oid, e.size, e.clsn, e.log_ptr);
-      } else {
-        payload.resize(e.size);
-        ERMIA_RETURN_NOT_OK(scanner.ReadAt(e.log_ptr, payload.data(), e.size));
-        InstallRecovered(table, e.oid, Slice(payload.data(), e.size), false,
-                         e.clsn, e.log_ptr);
+  }
+  for (const auto& t : img.tables) {
+    Table* table = TableByFid(t.fid);
+    if (t.hwm > 1) table->array().EnsureAllocatedThrough(t.hwm - 1);
+  }
+
+  // Shared by both paths: install one entry and its index mapping. The
+  // version is installed once even when secondary sections repeat the OID
+  // (the clsn check deduplicates); partition routing by (table, OID) keeps
+  // that dedup on a single worker.
+  auto apply_entry = [this, &scanner](Table* table, Index* index,
+                                      const CheckpointImage::Entry& e,
+                                      std::vector<char>& payload) -> Status {
+    if (e.tombstone) {
+      // No payload to fetch or stub: install the tombstone directly. The
+      // index entry below keeps the key→OID mapping alive for replayed
+      // tombstone-overwrite updates.
+      InstallRecovered(table, e.oid, Slice(), true, e.clsn, e.log_ptr);
+    } else if (config_.lazy_recovery) {
+      InstallRecoveredStub(table, e.oid, e.size, e.clsn, e.log_ptr);
+    } else {
+      payload.resize(e.size);
+      ERMIA_RETURN_NOT_OK(scanner.ReadAt(e.log_ptr, payload.data(), e.size));
+      InstallRecovered(table, e.oid, Slice(payload.data(), e.size), false,
+                       e.clsn, e.log_ptr);
+    }
+    index->tree().Insert(Slice(e.key), e.oid, nullptr, nullptr);
+    metrics_.Inc(metrics::Ctr::kRecoveryCheckpointEntries);
+    return Status::OK();
+  };
+
+  if (workers <= 1) {
+    std::vector<char> payload;
+    for (size_t i = 0; i < img.indexes.size(); ++i) {
+      Index* index = section_index[i];
+      Table* table = index->table();
+      for (const auto& e : img.indexes[i].entries) {
+        ERMIA_RETURN_NOT_OK(apply_entry(table, index, e, payload));
       }
-      index->tree().Insert(Slice(e.key), e.oid, nullptr, nullptr);
+    }
+    return Status::OK();
+  }
+
+  ReplayPool<CkptOp> pool(workers, &metrics_, [&apply_entry](CkptOp& op) {
+    thread_local std::vector<char> payload;
+    return apply_entry(op.table, op.index, *op.entry, payload);
+  });
+  for (size_t i = 0; i < img.indexes.size(); ++i) {
+    Index* index = section_index[i];
+    Table* table = index->table();
+    for (const auto& e : img.indexes[i].entries) {
+      pool.Route(ChainPartition(table->fid(), e.oid, pool.partitions()),
+                 CkptOp{table, index, &e});
     }
   }
-  return Status::OK();
+  return pool.Finish();
 }
 
-Status Database::Recover() {
-  if (log_.in_memory()) return Status::OK();  // nothing durable to recover
-  ERMIA_CHECK(open_);
-
+Status Database::RecoverImpl() {
   LogScanner scanner(config_.log_dir);
   ERMIA_RETURN_NOT_OK(scanner.Init());
+  const uint32_t workers = ResolveRecoveryThreads(config_);
 
   // Try checkpoints newest-to-oldest; a corrupt/torn/unreadable one is
   // skipped, not fatal. With no usable checkpoint, replay the whole log.
+  // The checkpoint phase completes (all workers joined) before the tail
+  // starts, so tail records always install on top of checkpoint state,
+  // exactly as in the serial path.
   uint64_t replay_from = kLogStartOffset;
   for (uint64_t begin : FindCheckpointMarkers(config_.log_dir)) {
     const std::string path =
         config_.log_dir + "/" + CheckpointDataName(begin);
     CheckpointImage img;
     Status s = LoadCheckpointImage(path, &img);
-    if (s.ok()) s = ApplyCheckpointImage(&img, scanner);
+    if (s.ok()) s = ApplyCheckpointImage(&img, scanner, workers);
     if (s.ok()) {
       replay_from = begin;
       break;
@@ -300,45 +563,162 @@ Status Database::Recover() {
   // recovery the tail installs stubs too: the payload bytes are durable at
   // a known address, so materialization on first access works for
   // tail-replayed records exactly as for checkpointed ones.
-  Status scan_status = scanner.Scan(replay_from, [&](const ScannedBlock& block) {
-    const uint64_t clsn_value = Lsn::Make(block.offset, 0).value();
-    for (const auto& rec : block.records) {
-      switch (rec.type) {
-        case LogRecordType::kInsert:
-        case LogRecordType::kUpdate: {
-          Table* table = TableByFid(rec.fid);
-          if (table == nullptr) break;  // unknown fid: schema drift, skip
-          if (config_.lazy_recovery) {
-            InstallRecoveredStub(table, rec.oid,
-                                 static_cast<uint32_t>(rec.payload.size()),
-                                 clsn_value, rec.payload_offset);
-          } else {
-            InstallRecovered(table, rec.oid, Slice(rec.payload), false,
-                             clsn_value, rec.payload_offset);
+  if (workers <= 1) {
+    // Legacy serial path, kept bit-for-bit for differential testing.
+    Status scan_status =
+        scanner.Scan(replay_from, [&](const ScannedBlock& block) {
+          const uint64_t clsn_value = Lsn::Make(block.offset, 0).value();
+          metrics_.Inc(metrics::Ctr::kRecoveryReplayBlocks);
+          metrics_.Inc(metrics::Ctr::kRecoveryReplayBytes,
+                       block.end_offset - block.offset);
+          metrics_.Inc(metrics::Ctr::kRecoveryReplayRecords,
+                       block.records.size());
+          for (const auto& rec : block.records) {
+            switch (rec.type) {
+              case LogRecordType::kInsert:
+              case LogRecordType::kUpdate: {
+                Table* table = TableByFid(rec.fid);
+                if (table == nullptr) break;  // unknown fid: schema drift
+                if (config_.lazy_recovery) {
+                  InstallRecoveredStub(table, rec.oid,
+                                       static_cast<uint32_t>(rec.payload.size()),
+                                       clsn_value, rec.payload_offset);
+                } else {
+                  InstallRecovered(table, rec.oid, Slice(rec.payload), false,
+                                   clsn_value, rec.payload_offset);
+                }
+                break;
+              }
+              case LogRecordType::kDelete: {
+                Table* table = TableByFid(rec.fid);
+                if (table == nullptr) break;
+                InstallRecovered(table, rec.oid, Slice(), true, clsn_value, 0);
+                break;
+              }
+              case LogRecordType::kIndexInsert: {
+                Index* index = IndexByFid(rec.fid);
+                if (index == nullptr) break;
+                index->table()->array().EnsureAllocatedThrough(rec.oid);
+                index->tree().Insert(Slice(rec.key), rec.oid, nullptr,
+                                     nullptr);
+                break;
+              }
+              default:
+                break;
+            }
           }
-          break;
+        });
+    ERMIA_RETURN_NOT_OK(scan_status);
+    RefreshOccSnapshot();
+    return Status::OK();
+  }
+
+  ReplayPool<TailOp> pool(workers, &metrics_, [this](TailOp& op) -> Status {
+    const char* base = op.buf->data();
+    switch (op.type) {
+      case LogRecordType::kInsert:
+      case LogRecordType::kUpdate:
+        if (config_.lazy_recovery) {
+          InstallRecoveredStub(op.table, op.oid, op.payload_size, op.clsn,
+                               op.payload_offset);
+        } else {
+          InstallRecovered(op.table, op.oid,
+                           Slice(base + op.payload_off, op.payload_size),
+                           false, op.clsn, op.payload_offset);
         }
-        case LogRecordType::kDelete: {
-          Table* table = TableByFid(rec.fid);
-          if (table == nullptr) break;
-          InstallRecovered(table, rec.oid, Slice(), true, clsn_value, 0);
-          break;
-        }
-        case LogRecordType::kIndexInsert: {
-          Index* index = IndexByFid(rec.fid);
-          if (index == nullptr) break;
-          index->table()->array().EnsureAllocatedThrough(rec.oid);
-          index->tree().Insert(Slice(rec.key), rec.oid, nullptr, nullptr);
-          break;
-        }
-        default:
-          break;
-      }
+        break;
+      case LogRecordType::kDelete:
+        InstallRecovered(op.table, op.oid, Slice(), true, op.clsn, 0);
+        break;
+      case LogRecordType::kIndexInsert:
+        op.table->array().EnsureAllocatedThrough(op.oid);
+        op.index->tree().Insert(Slice(base + op.key_off, op.key_size), op.oid,
+                                nullptr, nullptr);
+        break;
+      default:
+        break;
     }
+    return Status::OK();
   });
+
+  Status scan_status =
+      scanner.ScanRaw(replay_from, [&](RawBlock&& raw) -> Status {
+        const uint64_t clsn_value = Lsn::Make(raw.offset, 0).value();
+        metrics_.Inc(metrics::Ctr::kRecoveryReplayBlocks);
+        metrics_.Inc(metrics::Ctr::kRecoveryReplayBytes,
+                     raw.end_offset - raw.offset);
+        auto buf = std::make_shared<const std::vector<char>>(
+            std::move(raw.payload));
+        RecordCursor cur(raw.offset, buf->data(), buf->size(),
+                         raw.num_records);
+        RecordView rec;
+        uint64_t nrecords = 0;
+        while (cur.Next(&rec)) {
+          ++nrecords;
+          TailOp op;
+          op.type = rec.type;
+          op.oid = rec.oid;
+          op.clsn = clsn_value;
+          switch (rec.type) {
+            case LogRecordType::kInsert:
+            case LogRecordType::kUpdate:
+            case LogRecordType::kDelete: {
+              op.table = TableByFid(rec.fid);
+              if (op.table == nullptr) continue;  // schema drift, skip
+              op.index = nullptr;
+              op.payload_offset =
+                  rec.type == LogRecordType::kDelete ? 0 : rec.payload_offset;
+              op.key_off = 0;
+              op.key_size = 0;
+              op.payload_off =
+                  static_cast<uint32_t>(rec.payload - buf->data());
+              op.payload_size = rec.payload_size;
+              op.buf = buf;
+              pool.Route(
+                  ChainPartition(rec.fid, rec.oid, pool.partitions()),
+                  std::move(op));
+              break;
+            }
+            case LogRecordType::kIndexInsert: {
+              op.index = IndexByFid(rec.fid);
+              if (op.index == nullptr) continue;
+              op.table = op.index->table();
+              op.payload_offset = 0;
+              op.key_off = static_cast<uint32_t>(rec.key - buf->data());
+              op.key_size = rec.key_size;
+              op.payload_off = 0;
+              op.payload_size = 0;
+              op.buf = buf;
+              pool.Route(KeyPartition(rec.fid, rec.key, rec.key_size,
+                                      pool.partitions()),
+                         std::move(op));
+              break;
+            }
+            default:
+              break;
+          }
+        }
+        metrics_.Inc(metrics::Ctr::kRecoveryReplayRecords, nrecords);
+        return cur.status();
+      });
+  Status pool_status = pool.Finish();  // join workers even on a scan error
   ERMIA_RETURN_NOT_OK(scan_status);
+  ERMIA_RETURN_NOT_OK(pool_status);
   RefreshOccSnapshot();
   return Status::OK();
+}
+
+Status Database::Recover() {
+  if (log_.in_memory()) return Status::OK();  // nothing durable to recover
+  ERMIA_CHECK(open_);
+  const auto t0 = std::chrono::steady_clock::now();
+  Status s = RecoverImpl();
+  metrics_.Inc(metrics::Ctr::kRecoveryDurationUs,
+               static_cast<uint64_t>(
+                   std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count()));
+  return s;
 }
 
 }  // namespace ermia

@@ -85,8 +85,44 @@ bool LogScanner::ReadValidBlock(const LogSegment& seg, uint64_t pos,
   return LogChecksum(payload->data(), payload->size()) == hdr->checksum;
 }
 
-Status LogScanner::Scan(uint64_t from_offset,
-                        const std::function<void(const ScannedBlock&)>& cb) {
+RecordCursor::RecordCursor(uint64_t block_offset, const char* payload,
+                           size_t payload_size, uint32_t num_records)
+    : block_offset_(block_offset),
+      base_(payload),
+      p_(payload),
+      end_(payload + payload_size),
+      remaining_(num_records) {}
+
+bool RecordCursor::Next(RecordView* out) {
+  if (remaining_ == 0) return false;
+  --remaining_;
+  if (p_ + sizeof(LogRecordHeader) > end_) {
+    status_ = Status::Corruption("record overruns block");
+    return false;
+  }
+  LogRecordHeader rh;
+  std::memcpy(&rh, p_, sizeof rh);
+  p_ += sizeof rh;
+  if (p_ + rh.key_size + rh.payload_size > end_) {
+    status_ = Status::Corruption("record payload overruns block");
+    return false;
+  }
+  out->type = rh.type;
+  out->fid = rh.fid;
+  out->oid = rh.oid;
+  out->key = p_;
+  out->key_size = rh.key_size;
+  p_ += rh.key_size;
+  out->payload = p_;
+  out->payload_size = rh.payload_size;
+  out->payload_offset =
+      block_offset_ + kHeaderSize + static_cast<uint64_t>(p_ - base_);
+  p_ += rh.payload_size;
+  return true;
+}
+
+Status LogScanner::ScanRaw(uint64_t from_offset,
+                           const std::function<Status(RawBlock&&)>& cb) {
   bool stop = false;
   for (const auto& seg : segments_) {
     if (seg.end_offset <= from_offset) continue;
@@ -96,9 +132,35 @@ Status LogScanner::Scan(uint64_t from_offset,
   return Status::OK();
 }
 
-Status LogScanner::ScanSegment(
-    const LogSegment& seg, uint64_t from_offset,
-    const std::function<void(const ScannedBlock&)>& cb, bool* stop) {
+Status LogScanner::Scan(uint64_t from_offset,
+                        const std::function<void(const ScannedBlock&)>& cb) {
+  return ScanRaw(from_offset, [&](RawBlock&& raw) -> Status {
+    ScannedBlock block;
+    block.offset = raw.offset;
+    block.end_offset = raw.end_offset;
+    block.records.reserve(raw.num_records);
+    RecordCursor cur(raw.offset, raw.payload.data(), raw.payload.size(),
+                     raw.num_records);
+    RecordView rv;
+    while (cur.Next(&rv)) {
+      ScannedRecord rec;
+      rec.type = rv.type;
+      rec.fid = rv.fid;
+      rec.oid = rv.oid;
+      rec.key.assign(rv.key, rv.key_size);
+      rec.payload.assign(rv.payload, rv.payload_size);
+      rec.payload_offset = rv.payload_offset;
+      block.records.push_back(std::move(rec));
+    }
+    ERMIA_RETURN_NOT_OK(cur.status());
+    cb(block);
+    return Status::OK();
+  });
+}
+
+Status LogScanner::ScanSegment(const LogSegment& seg, uint64_t from_offset,
+                               const std::function<Status(RawBlock&&)>& cb,
+                               bool* stop) {
   struct stat st;
   if (::fstat(seg.fd, &st) != 0) return Status::IOError("fstat failed");
   const uint64_t file_size = static_cast<uint64_t>(st.st_size);
@@ -120,35 +182,14 @@ Status LogScanner::ScanSegment(
       continue;
     }
 
-    ScannedBlock block;
+    RawBlock block;
     block.offset = hdr.offset;
     block.end_offset = hdr.offset + hdr.total_size;
-    const char* p = payload.data();
-    const char* end = p + payload.size();
-    for (uint32_t i = 0; i < hdr.num_records; ++i) {
-      if (p + sizeof(LogRecordHeader) > end) {
-        return Status::Corruption("record overruns block");
-      }
-      LogRecordHeader rh;
-      std::memcpy(&rh, p, sizeof rh);
-      p += sizeof rh;
-      if (p + rh.key_size + rh.payload_size > end) {
-        return Status::Corruption("record payload overruns block");
-      }
-      ScannedRecord rec;
-      rec.type = rh.type;
-      rec.fid = rh.fid;
-      rec.oid = rh.oid;
-      rec.key.assign(p, rh.key_size);
-      p += rh.key_size;
-      rec.payload_offset =
-          hdr.offset + kHeaderSize + static_cast<uint64_t>(p - payload.data());
-      rec.payload.assign(p, rh.payload_size);
-      p += rh.payload_size;
-      block.records.push_back(std::move(rec));
-    }
-    cb(block);
+    block.num_records = hdr.num_records;
+    block.payload = std::move(payload);
     pos += hdr.total_size;
+    ERMIA_RETURN_NOT_OK(cb(std::move(block)));
+    payload.clear();  // moved-from: reset for the next ReadValidBlock
   }
   return Status::OK();
 }

@@ -36,6 +36,55 @@ struct ScannedBlock {
   std::vector<ScannedRecord> records;
 };
 
+// A validated transaction block with its record bytes still in the single
+// buffer ReadValidBlock filled — no per-record copies. The parallel replay
+// dispatcher hands the buffer to install workers via shared ownership, so
+// record payloads are copied exactly once, into the Version allocation.
+struct RawBlock {
+  uint64_t offset;       // block start: the transaction's commit offset
+  uint64_t end_offset;   // one past the block (offset + total_size)
+  uint32_t num_records;
+  std::vector<char> payload;  // record data, checksum-verified
+};
+
+// Borrowed view of one record inside a RawBlock's payload buffer.
+struct RecordView {
+  LogRecordType type;
+  Fid fid;
+  Oid oid;
+  const char* key;
+  uint16_t key_size;
+  const char* payload;
+  uint32_t payload_size;
+  uint64_t payload_offset;  // durable log address of the payload bytes
+};
+
+// Walks the records of one raw block. Usage:
+//   RecordCursor cur(block.offset, block.payload.data(),
+//                    block.payload.size(), block.num_records);
+//   RecordView rec;
+//   while (cur.Next(&rec)) { ... }
+//   ERMIA_RETURN_NOT_OK(cur.status());
+class RecordCursor {
+ public:
+  RecordCursor(uint64_t block_offset, const char* payload, size_t payload_size,
+               uint32_t num_records);
+
+  // Fills *out with the next record; false at the end of the block or on a
+  // malformed record (then status() is not OK).
+  bool Next(RecordView* out);
+
+  Status status() const { return status_; }
+
+ private:
+  uint64_t block_offset_;
+  const char* base_;
+  const char* p_;
+  const char* end_;
+  uint32_t remaining_;
+  Status status_;
+};
+
 class LogScanner {
  public:
   explicit LogScanner(std::string dir);
@@ -49,6 +98,13 @@ class LogScanner {
   // >= from_offset, in offset order. Returns OK on a clean truncation.
   Status Scan(uint64_t from_offset,
               const std::function<void(const ScannedBlock&)>& cb);
+
+  // Like Scan, but hands each validated block to `cb` with its record bytes
+  // still in one buffer (moved to the callback). The parallel replay path
+  // parses records with RecordCursor and routes them without copying; Scan()
+  // is implemented on top of this.
+  Status ScanRaw(uint64_t from_offset,
+                 const std::function<Status(RawBlock&&)>& cb);
 
   // Random access read of payload bytes at a logical offset.
   Status ReadAt(uint64_t offset, void* dst, uint32_t size) const;
@@ -66,8 +122,7 @@ class LogScanner {
                       LogBlockHeader* hdr, std::vector<char>* payload) const;
 
   Status ScanSegment(const LogSegment& seg, uint64_t from_offset,
-                     const std::function<void(const ScannedBlock&)>& cb,
-                     bool* stop);
+                     const std::function<Status(RawBlock&&)>& cb, bool* stop);
 
   std::string dir_;
   std::vector<LogSegment> segments_;  // ordered by start_offset, fds open

@@ -97,6 +97,16 @@ const char* CtrName(Ctr c) {
       return "gc_versions_reclaimed";
     case Ctr::kGcItemsDeferred:
       return "gc_items_deferred";
+    case Ctr::kRecoveryReplayBlocks:
+      return "recovery_replay_blocks";
+    case Ctr::kRecoveryReplayRecords:
+      return "recovery_replay_records";
+    case Ctr::kRecoveryReplayBytes:
+      return "recovery_replay_bytes";
+    case Ctr::kRecoveryCheckpointEntries:
+      return "recovery_checkpoint_entries";
+    case Ctr::kRecoveryDurationUs:
+      return "recovery_duration_us";
     case Ctr::kIndexNodeSplits:
       return "index_node_splits";
     case Ctr::kIndexReadRetries:
@@ -125,6 +135,10 @@ const char* HistName(Hist h) {
       return "gc_chain_length";
     case Hist::kEpochReclaimBatch:
       return "epoch_reclaim_batch";
+    case Hist::kRecoveryBatchRecords:
+      return "recovery_batch_records";
+    case Hist::kRecoveryBatchUs:
+      return "recovery_batch_us";
     case Hist::kNumHists:
       break;
   }

@@ -92,6 +92,12 @@ enum class Ctr : uint32_t {
   kGcPasses,
   kGcVersionsReclaimed,
   kGcItemsDeferred,
+  // Recovery (checkpoint load + log-tail replay; serial and parallel paths).
+  kRecoveryReplayBlocks,
+  kRecoveryReplayRecords,
+  kRecoveryReplayBytes,
+  kRecoveryCheckpointEntries,
+  kRecoveryDurationUs,
   // ---- sampled gauges (filled at snapshot time, not sharded) ----
   kIndexNodeSplits,
   kIndexReadRetries,
@@ -123,6 +129,8 @@ enum class Hist : uint32_t {
   kLogCommitWaitUs,     // synchronous-commit group-commit wait
   kGcChainLength,       // version-chain length at GC examination time
   kEpochReclaimBatch,   // deferred cleanups executed per RunReclaimers
+  kRecoveryBatchRecords,  // records per replay-worker batch (parallel path)
+  kRecoveryBatchUs,       // install time of one replay-worker batch
   kNumHists,
 };
 

@@ -477,10 +477,17 @@ Status Transaction::Commit() {
   const bool has_writes = !write_set_.empty() || staged_records_ > 0;
   if (!has_writes) {
     // Reader-only commit. Under SSN the reads still participate (committed
-    // readers must publish their pstamps so writers see them); SI and OCC
-    // snapshot readers commit trivially.
+    // readers must publish their pstamps so writers see them). An OCC
+    // transaction that was NOT declared read-only read "latest committed"
+    // at each access — instants that may span many foreign commits — so its
+    // read set must still pass Silo's commit-time validation; only declared
+    // read-only transactions (one consistent snapshot) and SI snapshot
+    // readers commit trivially.
     if (scheme_ == CcScheme::kSiSsn && !read_set_.empty()) {
       return SsnCommit();
+    }
+    if (scheme_ == CcScheme::kOcc && !read_only_ && !read_set_.empty()) {
+      return OccReadOnlyCommit();
     }
     if (scheme_ == CcScheme::k2pl) TplReleaseAll();
     ctx_->StoreState(TxnState::kCommitted);

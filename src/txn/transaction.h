@@ -218,6 +218,7 @@ class Transaction {
   Status OccRead(Table* table, Oid oid, Slice* value);
   Status OccUpdate(Table* table, Oid oid, const Slice& value, bool tombstone);
   Status OccCommit();
+  Status OccReadOnlyCommit();
 
   Database* db_;
   CcScheme scheme_;

@@ -3,6 +3,7 @@
 // of doomed updaters, and SI's known anomaly (write skew) which SSN must fix.
 #include <gtest/gtest.h>
 
+#include "history_checker.h"
 #include "test_util.h"
 
 namespace ermia {
@@ -163,6 +164,69 @@ TEST_F(SiTest, WriteSkewIsAllowedUnderPlainSi) {
   EXPECT_TRUE(t2.Commit().ok());  // non-serializable, accepted by SI
   EXPECT_EQ(Get("x"), "t1");
   EXPECT_EQ(Get("y"), "t2");
+}
+
+// The serializability oracle's positive case: feed it the committed
+// write-skew history and it must REPORT the cycle (t1 -rw-> t2 -rw-> t1,
+// both anti-dependencies). This pins the oracle's sensitivity — the
+// acyclicity assertions in cc_ssn_test and serializability_stress_test are
+// only meaningful if a genuinely non-serializable history fails the check.
+TEST_F(SiTest, OracleDetectsWriteSkewCycleUnderPlainSi) {
+  testing::HistoryChecker checker;
+  const Oid x = OidOf("x");
+  const Oid y = OidOf("y");
+  // Re-seed with stamped initial versions so reads decode to write ids.
+  {
+    Transaction seed(db_->get(), CcScheme::kSi);
+    testing::FootprintBuilder fp;
+    char bx[8], by[8];
+    const uint64_t wx = checker.NextWriteId();
+    const uint64_t wy = checker.NextWriteId();
+    ASSERT_TRUE(
+        seed.Update(table_, x, testing::HistoryChecker::EncodeWriteId(wx, bx))
+            .ok());
+    fp.OnWrite(x, wx);
+    ASSERT_TRUE(
+        seed.Update(table_, y, testing::HistoryChecker::EncodeWriteId(wy, by))
+            .ok());
+    fp.OnWrite(y, wy);
+    ASSERT_TRUE(seed.Commit().ok());
+    checker.AddCommitted(std::move(fp).Finish(seed.tid()));
+  }
+
+  Transaction t1(db_->get(), CcScheme::kSi);
+  Transaction t2(db_->get(), CcScheme::kSi);
+  testing::FootprintBuilder fp1, fp2;
+  Slice v;
+  ASSERT_TRUE(t1.Read(table_, x, &v).ok());
+  fp1.OnRead(x, v);
+  ASSERT_TRUE(t1.Read(table_, y, &v).ok());
+  fp1.OnRead(y, v);
+  ASSERT_TRUE(t2.Read(table_, x, &v).ok());
+  fp2.OnRead(x, v);
+  ASSERT_TRUE(t2.Read(table_, y, &v).ok());
+  fp2.OnRead(y, v);
+  char b1[8], b2[8];
+  const uint64_t w1 = checker.NextWriteId();
+  const uint64_t w2 = checker.NextWriteId();
+  ASSERT_TRUE(
+      t1.Update(table_, x, testing::HistoryChecker::EncodeWriteId(w1, b1))
+          .ok());
+  fp1.OnWrite(x, w1);
+  ASSERT_TRUE(
+      t2.Update(table_, y, testing::HistoryChecker::EncodeWriteId(w2, b2))
+          .ok());
+  fp2.OnWrite(y, w2);
+  ASSERT_TRUE(t1.Commit().ok());
+  ASSERT_TRUE(t2.Commit().ok());  // plain SI admits the skew
+  checker.AddCommitted(std::move(fp1).Finish(t1.tid()));
+  checker.AddCommitted(std::move(fp2).Finish(t2.tid()));
+
+  const auto result = checker.Check();
+  EXPECT_TRUE(result.cyclic)
+      << "oracle failed to flag write skew: " << result.Describe();
+  EXPECT_EQ(result.num_txns, 3u);
+  EXPECT_FALSE(result.cycle.empty());
 }
 
 TEST_F(SiTest, UpdateOwnWriteTwice) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "history_checker.h"
 #include "test_util.h"
 
 namespace ermia {
@@ -175,20 +176,11 @@ TEST_F(SsnTest, NoFalsePhantomWhenRangeUntouched) {
 
 // ---------------------------------------------------------------------------
 // Serializability property test. Workers run short random read/write
-// transactions over a small hot set (maximizing conflicts). For every
-// committed transaction we record its read set (record -> version stamp
-// observed) and write set (record -> new stamp). Afterwards we build the
-// dependency graph (WR, WW, RW edges derived from version stamps) and assert
-// it is acyclic.
+// transactions over a small hot set (maximizing conflicts); every committed
+// transaction reports its footprint to the HistoryChecker oracle
+// (tests/history_checker.h), which rebuilds the WR/WW/RW dependency graph
+// from the write-id-stamped values and must find it acyclic under SSN.
 // ---------------------------------------------------------------------------
-
-struct CommittedTxn {
-  uint64_t cstamp;
-  // record -> stamp of the version read (the creator's cstamp).
-  std::map<int, uint64_t> reads;
-  // record -> stamp of the overwritten version (prev creator's cstamp).
-  std::map<int, uint64_t> overwrites;
-};
 
 TEST_F(SsnTest, RandomHistoriesAreSerializable) {
   constexpr int kRecords = 8;
@@ -203,23 +195,12 @@ TEST_F(SsnTest, RandomHistoriesAreSerializable) {
     oids[i] = OidOf(key);
   }
 
-  std::mutex mu;
-  std::vector<CommittedTxn> history;
-  // record -> (version stamp -> creator cstamp) map is implicit: we stamp
-  // values with the writer's identity. Value format: 8-byte little-endian
-  // unique write id.
-  std::atomic<uint64_t> next_write_id{1};
-  // write id -> committing txn's cstamp, filled on commit.
-  std::mutex wid_mu;
-  std::map<uint64_t, uint64_t> wid_to_cstamp;
-
+  testing::HistoryChecker checker;
   auto worker = [&](int seed) {
     FastRandom rng(seed);
     for (int i = 0; i < kTxnsPerThread; ++i) {
       Transaction txn(db_->get(), CcScheme::kSiSsn);
-      std::map<int, uint64_t> reads;       // record -> write id read
-      std::map<int, uint64_t> overwrites;  // record -> write id overwritten
-      std::map<int, uint64_t> writes;      // record -> my new write id
+      testing::FootprintBuilder fp;
       bool aborted = false;
       const int nops = 2 + static_cast<int>(rng.UniformU64(0, 3));
       for (int op = 0; op < nops && !aborted; ++op) {
@@ -230,40 +211,27 @@ TEST_F(SsnTest, RandomHistoriesAreSerializable) {
           aborted = true;
           break;
         }
-        uint64_t seen = 0;
-        if (v.size() == 8) std::memcpy(&seen, v.data(), 8);
-        reads[rec] = seen;
+        fp.OnRead(rec, v);
         if (rng.Bernoulli(0.5)) {
-          const uint64_t wid = next_write_id.fetch_add(1);
+          const uint64_t wid = checker.NextWriteId();
           char buf[8];
-          std::memcpy(buf, &wid, 8);
-          Status ws = txn.Update(table_, oids[rec], Slice(buf, 8));
+          Status ws = txn.Update(table_, oids[rec],
+                                 testing::HistoryChecker::EncodeWriteId(wid, buf));
           if (!ws.ok()) {
             aborted = true;
             break;
           }
-          overwrites[rec] = writes.count(rec) ? overwrites[rec] : seen;
-          writes[rec] = wid;
-          reads.erase(rec);  // own write supersedes the read edge
+          fp.OnWrite(rec, wid);
         }
       }
       if (aborted) {
         txn.Abort();
         continue;
       }
-      Status c = txn.Commit();
-      if (!c.ok()) continue;
-      const uint64_t cstamp = txn.tid();  // unique id is enough for the graph
-      {
-        std::lock_guard<std::mutex> g(wid_mu);
-        for (auto& [rec, wid] : writes) wid_to_cstamp[wid] = cstamp;
+      if (txn.Commit().ok()) {
+        // txn.tid() is a unique per-run id: slot index plus generation.
+        checker.AddCommitted(std::move(fp).Finish(txn.tid()));
       }
-      CommittedTxn ct;
-      ct.cstamp = cstamp;
-      ct.reads = reads;
-      ct.overwrites = overwrites;
-      std::lock_guard<std::mutex> g(mu);
-      history.push_back(std::move(ct));
     }
     ThreadRegistry::Deregister();
   };
@@ -272,79 +240,10 @@ TEST_F(SsnTest, RandomHistoriesAreSerializable) {
   for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t + 1);
   for (auto& t : threads) t.join();
 
-  // Build the dependency graph. Nodes: committed txns (by cstamp id).
-  // For record r: writer(wid_k) -> writer(wid_{k+1}) (WW, via overwrites),
-  // writer(wid) -> reader (WR), reader -> overwriter (RW anti-dependency).
-  std::map<uint64_t, size_t> node;  // cstamp -> index
-  for (auto& t : history) node.emplace(t.cstamp, node.size());
-  std::vector<std::vector<size_t>> adj(node.size());
-  auto add_edge = [&](uint64_t from, uint64_t to) {
-    auto fi = node.find(from);
-    auto ti = node.find(to);
-    if (fi == node.end() || ti == node.end() || fi->second == ti->second) {
-      return;
-    }
-    adj[fi->second].push_back(ti->second);
-  };
-  // Map: record -> write id -> successor write id (chain order per record).
-  std::map<int, std::vector<std::pair<uint64_t, uint64_t>>> chains;
-  {
-    std::lock_guard<std::mutex> g(wid_mu);
-    for (const auto& t : history) {
-      for (const auto& [rec, prev_wid] : t.overwrites) {
-        // WW edge: creator of prev -> this txn.
-        if (prev_wid != 0 && wid_to_cstamp.count(prev_wid)) {
-          add_edge(wid_to_cstamp[prev_wid], t.cstamp);
-        }
-      }
-      for (const auto& [rec, wid] : t.reads) {
-        if (wid != 0 && wid_to_cstamp.count(wid)) {
-          add_edge(wid_to_cstamp[wid], t.cstamp);  // WR
-        }
-      }
-    }
-    // RW anti-dependencies: reader of version wid -> the txn that overwrote
-    // wid (found via overwrites lists).
-    std::map<uint64_t, uint64_t> overwriter_of;  // wid -> cstamp of overwriter
-    for (const auto& t : history) {
-      for (const auto& [rec, prev_wid] : t.overwrites) {
-        if (prev_wid != 0) overwriter_of[prev_wid] = t.cstamp;
-      }
-    }
-    for (const auto& t : history) {
-      for (const auto& [rec, wid] : t.reads) {
-        auto it = overwriter_of.find(wid);
-        if (it != overwriter_of.end()) add_edge(t.cstamp, it->second);
-      }
-    }
-  }
-
-  // Cycle detection (iterative DFS).
-  enum { kWhite, kGray, kBlack };
-  std::vector<int> color(adj.size(), kWhite);
-  bool cycle = false;
-  for (size_t s = 0; s < adj.size() && !cycle; ++s) {
-    if (color[s] != kWhite) continue;
-    std::vector<std::pair<size_t, size_t>> stack{{s, 0}};
-    color[s] = kGray;
-    while (!stack.empty() && !cycle) {
-      auto& [u, i] = stack.back();
-      if (i < adj[u].size()) {
-        const size_t w = adj[u][i++];
-        if (color[w] == kGray) {
-          cycle = true;
-        } else if (color[w] == kWhite) {
-          color[w] = kGray;
-          stack.push_back({w, 0});
-        }
-      } else {
-        color[u] = kBlack;
-        stack.pop_back();
-      }
-    }
-  }
-  EXPECT_FALSE(cycle) << "committed history has a dependency cycle";
-  EXPECT_GT(history.size(), 100u) << "too few commits to be meaningful";
+  const auto result = checker.Check();
+  EXPECT_FALSE(result.cyclic)
+      << "committed history has a dependency cycle: " << result.Describe();
+  EXPECT_GT(result.num_txns, 100u) << "too few commits to be meaningful";
 }
 
 }  // namespace

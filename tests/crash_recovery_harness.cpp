@@ -26,8 +26,14 @@
 //          at all), or by a later possibly-durable delete intent.
 //      Point reads, a full range scan, and spot checks under every CC
 //      scheme must agree.
-//   3. The torn-tail regression closes the loop: the parent appends fresh
-//      commits to the recovered database, restarts, and recovers AGAIN. With
+//   3. Differential replay: the first recovery runs the partitioned parallel
+//      pipeline (ERMIA_RECOVERY_THREADS workers, default 4); the directory is
+//      then reopened with recovery_threads=1 (the legacy serial path) and the
+//      visible state must match byte-for-byte. Any routing or ordering bug in
+//      the parallel path shows up as a divergence against the serial oracle.
+//   4. The torn-tail regression closes the loop: the parent appends fresh
+//      commits to the recovered database, restarts, and recovers AGAIN
+//      (parallel again, exercising mixed serial/parallel restarts). With
 //      the old header-only FindTail, a torn tail made the reopened log adopt
 //      a tail past the torn block and this second recovery silently lost the
 //      post-crash commits.
@@ -362,9 +368,13 @@ TEST_P(CrashRecoveryHarness, AckedCommitsSurviveInjectedCrash) {
 
   const Journal j = ParseJournal(raw);
 
-  // ---- first recovery ----
+  // ---- first recovery: partitioned parallel replay ----
   EngineConfig rconfig = WorkloadConfig(dir, e);
   rconfig.lazy_recovery = e.lazy_recovery;
+  rconfig.recovery_threads = 4;
+  if (const char* env = ::getenv("ERMIA_RECOVERY_THREADS")) {
+    rconfig.recovery_threads = static_cast<uint32_t>(std::atoi(env));
+  }
   auto db = std::make_unique<Database>(rconfig);
   Table* table = db->CreateTable("kv");
   Index* pk = db->CreateIndex(table, "kv_pk");
@@ -468,6 +478,42 @@ TEST_P(CrashRecoveryHarness, AckedCommitsSurviveInjectedCrash) {
       }
       EXPECT_TRUE(txn.Commit().ok());
     }
+  }
+
+  // ---- differential replay: serial recovery must agree byte-for-byte ----
+  // Reopen the same directory with recovery_threads=1 (the legacy serial
+  // path). Per-OID chain routing plus the checkpoint/tail barrier make the
+  // parallel pipeline serial-equivalent by construction; this check pins the
+  // claim on every seed's torn/checkpointed/rotated log shape.
+  db.reset();
+  EngineConfig serial_config = rconfig;
+  serial_config.recovery_threads = 1;
+  db = std::make_unique<Database>(serial_config);
+  table = db->CreateTable("kv");
+  pk = db->CreateIndex(table, "kv_pk");
+  sec = db->CreateIndex(table, "kv_sec");
+  ASSERT_TRUE(db->Open().ok());
+  ASSERT_TRUE(db->Recover().ok());
+  {
+    Transaction txn(db.get(), CcScheme::kSi);
+    std::map<std::string, std::string> scanned;
+    ASSERT_TRUE(txn.Scan(pk, "w", "", -1,
+                         [&](const Slice& k, const Slice& v) {
+                           scanned[k.ToString()] = v.ToString();
+                           return true;
+                         })
+                    .ok());
+    EXPECT_TRUE(txn.Commit().ok());
+    EXPECT_EQ(scanned, present)
+        << "serial replay disagrees with parallel replay";
+  }
+  for (const auto& [key, value] : present) {
+    Transaction txn(db.get(), CcScheme::kSi);
+    Slice v;
+    ASSERT_TRUE(txn.Get(pk, key, &v).ok())
+        << key << " visible after parallel replay but not serial";
+    EXPECT_EQ(v.ToString(), value) << key << ": serial/parallel divergence";
+    ASSERT_TRUE(txn.Commit().ok());
   }
 
   // ---- torn-tail regression: commit after recovery, recover again ----

@@ -1,0 +1,202 @@
+#include "history_checker.h"
+
+#include <cstring>
+
+namespace ermia {
+namespace testing {
+
+void FootprintBuilder::OnRead(uint64_t record, const Slice& v) {
+  const uint64_t wid = HistoryChecker::DecodeWriteId(v);
+  last_seen_[record] = wid;
+  // An own-write read observes this txn's tentative version: no dependency.
+  if (fp_.writes.count(record)) return;
+  fp_.reads[record] = wid;
+}
+
+void FootprintBuilder::OnWrite(uint64_t record, uint64_t wid) {
+  if (!fp_.writes.count(record)) {
+    // First write of this record: it replaces the version last observed.
+    auto seen = last_seen_.find(record);
+    fp_.overwrites[record] = seen == last_seen_.end() ? 0 : seen->second;
+  }
+  fp_.writes[record] = wid;
+  fp_.reads.erase(record);  // own write supersedes the read edge
+}
+
+TxnFootprint FootprintBuilder::Finish(uint64_t cstamp) && {
+  fp_.cstamp = cstamp;
+  return std::move(fp_);
+}
+
+Slice HistoryChecker::EncodeWriteId(uint64_t wid, char (&buf)[8]) {
+  std::memcpy(buf, &wid, 8);
+  return Slice(buf, 8);
+}
+
+uint64_t HistoryChecker::DecodeWriteId(const Slice& v) {
+  if (v.size() != 8) return 0;
+  uint64_t wid = 0;
+  std::memcpy(&wid, v.data(), 8);
+  return wid;
+}
+
+void HistoryChecker::AddCommitted(TxnFootprint&& txn) {
+  std::lock_guard<std::mutex> g(mu_);
+  history_.push_back(std::move(txn));
+}
+
+size_t HistoryChecker::CommittedCount() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return history_.size();
+}
+
+std::string HistoryChecker::Result::Describe() const {
+  std::string s = "history: " + std::to_string(num_txns) + " txns, " +
+                  std::to_string(num_edges) + " edges, " +
+                  (cyclic ? "CYCLIC" : "acyclic");
+  if (!cycle.empty()) {
+    s += "; cycle:";
+    for (uint64_t c : cycle) s += " " + std::to_string(c);
+  }
+  if (!cycle_detail.empty()) s += "\n" + cycle_detail;
+  return s;
+}
+
+HistoryChecker::Result HistoryChecker::Check() const {
+  std::lock_guard<std::mutex> g(mu_);
+  Result res;
+  res.num_txns = history_.size();
+
+  // Node ids and the wid -> creator map.
+  std::map<uint64_t, size_t> node;  // cstamp -> index
+  std::map<uint64_t, uint64_t> creator_of;  // wid -> creator cstamp
+  for (const auto& t : history_) {
+    node.emplace(t.cstamp, node.size());
+    for (const auto& [rec, wid] : t.writes) creator_of[wid] = t.cstamp;
+  }
+
+  std::vector<std::vector<size_t>> adj(node.size());
+  auto add_edge = [&](uint64_t from, uint64_t to) {
+    auto fi = node.find(from);
+    auto ti = node.find(to);
+    if (fi == node.end() || ti == node.end() || fi->second == ti->second) {
+      return;
+    }
+    adj[fi->second].push_back(ti->second);
+    ++res.num_edges;
+  };
+
+  // wid -> cstamp of the txn that replaced that version.
+  std::map<uint64_t, uint64_t> overwriter_of;
+  for (const auto& t : history_) {
+    for (const auto& [rec, prev_wid] : t.overwrites) {
+      if (prev_wid != 0) overwriter_of[prev_wid] = t.cstamp;
+      // WW edge: creator of the replaced version -> this txn.
+      if (prev_wid != 0 && creator_of.count(prev_wid)) {
+        add_edge(creator_of[prev_wid], t.cstamp);
+      }
+    }
+    for (const auto& [rec, wid] : t.reads) {
+      // WR edge: creator of the version read -> this txn.
+      if (wid != 0 && creator_of.count(wid)) {
+        add_edge(creator_of[wid], t.cstamp);
+      }
+    }
+  }
+  // RW anti-dependencies: reader of version wid -> the txn that replaced it.
+  for (const auto& t : history_) {
+    for (const auto& [rec, wid] : t.reads) {
+      auto it = overwriter_of.find(wid);
+      if (it != overwriter_of.end()) add_edge(t.cstamp, it->second);
+    }
+  }
+
+  std::vector<uint64_t> cstamp_of(node.size());
+  for (const auto& [cstamp, idx] : node) cstamp_of[idx] = cstamp;
+
+  // Shrink a discovered cycle: repeatedly look for a chord (an edge from a
+  // cycle node to a later cycle node) and cut out the bypassed stretch, so
+  // failure reports show a minimal loop instead of a 100-node DFS artifact.
+  auto shrink_cycle = [&](std::vector<uint64_t>& cyc) {
+    bool changed = true;
+    while (changed && cyc.size() > 2) {
+      changed = false;
+      std::map<uint64_t, size_t> pos;
+      for (size_t i = 0; i < cyc.size(); ++i) pos[cyc[i]] = i;
+      for (size_t i = 0; i < cyc.size() && !changed; ++i) {
+        const size_t u = node.at(cyc[i]);
+        for (size_t w : adj[u]) {
+          auto it = pos.find(cstamp_of[w]);
+          if (it == pos.end()) continue;
+          const size_t j = it->second;
+          // Edge cyc[i] -> cyc[j]; if j is not the successor of i, the
+          // stretch (i, j) can be cut.
+          const size_t succ = (i + 1) % cyc.size();
+          if (j == succ || j == i) continue;
+          std::vector<uint64_t> shorter;
+          for (size_t k = j;; k = (k + 1) % cyc.size()) {
+            shorter.push_back(cyc[k]);
+            if (k == i) break;
+          }
+          cyc.swap(shorter);
+          changed = true;
+          break;
+        }
+      }
+    }
+  };
+
+  // Iterative 3-color DFS; on a back edge, the gray stack suffix is a cycle.
+  enum { kWhite, kGray, kBlack };
+  std::vector<int> color(adj.size(), kWhite);
+  for (size_t s = 0; s < adj.size() && !res.cyclic; ++s) {
+    if (color[s] != kWhite) continue;
+    std::vector<std::pair<size_t, size_t>> stack{{s, 0}};
+    color[s] = kGray;
+    while (!stack.empty() && !res.cyclic) {
+      auto& [u, i] = stack.back();
+      if (i < adj[u].size()) {
+        const size_t w = adj[u][i++];
+        if (color[w] == kGray) {
+          res.cyclic = true;
+          // Report the gray path from w's frame to the top of the stack.
+          size_t from = 0;
+          while (from < stack.size() && stack[from].first != w) ++from;
+          for (size_t f = from; f < stack.size(); ++f) {
+            res.cycle.push_back(cstamp_of[stack[f].first]);
+          }
+        } else if (color[w] == kWhite) {
+          color[w] = kGray;
+          stack.push_back({w, 0});
+        }
+      } else {
+        color[u] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+
+  if (res.cyclic) {
+    shrink_cycle(res.cycle);
+    std::map<uint64_t, const TxnFootprint*> by_cstamp;
+    for (const auto& t : history_) by_cstamp[t.cstamp] = &t;
+    for (uint64_t c : res.cycle) {
+      const TxnFootprint* t = by_cstamp.at(c);
+      res.cycle_detail += "txn " + std::to_string(c) + ":";
+      for (const auto& [rec, wid] : t->reads) {
+        res.cycle_detail +=
+            " r(" + std::to_string(rec) + "@" + std::to_string(wid) + ")";
+      }
+      for (const auto& [rec, wid] : t->writes) {
+        res.cycle_detail += " w(" + std::to_string(rec) + "=" +
+                            std::to_string(wid) + " over " +
+                            std::to_string(t->overwrites.at(rec)) + ")";
+      }
+      res.cycle_detail += "\n";
+    }
+  }
+  return res;
+}
+
+}  // namespace testing
+}  // namespace ermia

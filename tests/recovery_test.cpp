@@ -17,10 +17,15 @@
 namespace ermia {
 namespace {
 
-class RecoveryTest : public ::testing::Test {
+// Parameterized over recovery_threads: every scenario (checkpoint fallback,
+// torn tail, lazy stubs, segment rotation, ...) runs on both the legacy
+// serial path (1) and the partitioned parallel path (4), which must be
+// state-equivalent by construction.
+class RecoveryTest : public ::testing::TestWithParam<uint32_t> {
  protected:
   void SetUp() override {
     config_.synchronous_commit = true;  // every commit durable before return
+    config_.recovery_threads = GetParam();
     db_ = std::make_unique<testing::TempDb>(config_);
     OpenSchema();
   }
@@ -125,7 +130,7 @@ class RecoveryTest : public ::testing::Test {
   Index* sec_ = nullptr;
 };
 
-TEST_F(RecoveryTest, LogOnlyRestartRestoresData) {
+TEST_P(RecoveryTest, LogOnlyRestartRestoresData) {
   Put("a", "1");
   Put("b", "2");
   Restart();
@@ -134,7 +139,7 @@ TEST_F(RecoveryTest, LogOnlyRestartRestoresData) {
   EXPECT_EQ(Get(pk_, "c"), "<NOT_FOUND>");
 }
 
-TEST_F(RecoveryTest, UpdatesSurviveWithLatestValue) {
+TEST_P(RecoveryTest, UpdatesSurviveWithLatestValue) {
   Put("k", "v1");
   Put("k", "v2");
   Put("k", "v3");
@@ -142,7 +147,7 @@ TEST_F(RecoveryTest, UpdatesSurviveWithLatestValue) {
   EXPECT_EQ(Get(pk_, "k"), "v3");
 }
 
-TEST_F(RecoveryTest, DeletesSurvive) {
+TEST_P(RecoveryTest, DeletesSurvive) {
   Put("keep", "x");
   Put("gone", "y");
   {
@@ -157,14 +162,14 @@ TEST_F(RecoveryTest, DeletesSurvive) {
   EXPECT_EQ(Get(pk_, "gone"), "<NOT_FOUND>");
 }
 
-TEST_F(RecoveryTest, SecondaryIndexesRebuilt) {
+TEST_P(RecoveryTest, SecondaryIndexesRebuilt) {
   Put("pkey", "payload", "skey");
   Restart();
   EXPECT_EQ(Get(pk_, "pkey"), "payload");
   EXPECT_EQ(Get(sec_, "skey"), "payload");
 }
 
-TEST_F(RecoveryTest, AbortedTransactionsLeaveNoTrace) {
+TEST_P(RecoveryTest, AbortedTransactionsLeaveNoTrace) {
   Put("committed", "yes");
   {
     Transaction txn(db_->get(), CcScheme::kSi);
@@ -176,7 +181,7 @@ TEST_F(RecoveryTest, AbortedTransactionsLeaveNoTrace) {
   EXPECT_EQ(Get(pk_, "uncommitted"), "<NOT_FOUND>");
 }
 
-TEST_F(RecoveryTest, CheckpointPlusTailReplay) {
+TEST_P(RecoveryTest, CheckpointPlusTailReplay) {
   for (int i = 0; i < 50; ++i) {
     Put("pre" + std::to_string(i), "v" + std::to_string(i));
   }
@@ -194,7 +199,7 @@ TEST_F(RecoveryTest, CheckpointPlusTailReplay) {
   EXPECT_EQ(Get(pk_, "pre5"), "overwritten-after-checkpoint");
 }
 
-TEST_F(RecoveryTest, CheckpointSkipsRecordsDeletedBeforeIt) {
+TEST_P(RecoveryTest, CheckpointSkipsRecordsDeletedBeforeIt) {
   Put("alive", "v");
   Put("dead-before", "v", "dead-sec");
   {
@@ -225,7 +230,7 @@ TEST_F(RecoveryTest, CheckpointSkipsRecordsDeletedBeforeIt) {
   EXPECT_EQ(Get(pk_, "dead-before"), "reborn");
 }
 
-TEST_F(RecoveryTest, MultipleCheckpointsUseLatest) {
+TEST_P(RecoveryTest, MultipleCheckpointsUseLatest) {
   Put("a", "1");
   ASSERT_TRUE((*db_)->TakeCheckpoint(nullptr).ok());
   Put("b", "2");
@@ -237,7 +242,7 @@ TEST_F(RecoveryTest, MultipleCheckpointsUseLatest) {
   EXPECT_EQ(Get(pk_, "c"), "3");
 }
 
-TEST_F(RecoveryTest, RepeatedRestartsAreStable) {
+TEST_P(RecoveryTest, RepeatedRestartsAreStable) {
   Put("k", "v");
   for (int round = 0; round < 3; ++round) {
     Restart();
@@ -251,7 +256,7 @@ TEST_F(RecoveryTest, RepeatedRestartsAreStable) {
   }
 }
 
-TEST_F(RecoveryTest, TornTailIsTruncated) {
+TEST_P(RecoveryTest, TornTailIsTruncated) {
   Put("good", "data");
   db_->ShutDown();
   // Corrupt the tail: append garbage to the newest segment file, emulating a
@@ -279,7 +284,7 @@ TEST_F(RecoveryTest, TornTailIsTruncated) {
   EXPECT_EQ(Get(pk_, "after"), "crash");
 }
 
-TEST_F(RecoveryTest, LazyRecoveryFaultsPayloadsOnFirstAccess) {
+TEST_P(RecoveryTest, LazyRecoveryFaultsPayloadsOnFirstAccess) {
   for (int i = 0; i < 100; ++i) {
     Put("lazy" + std::to_string(i), "value-" + std::to_string(i),
         "sec" + std::to_string(i));
@@ -342,7 +347,7 @@ TEST_F(RecoveryTest, LazyRecoveryFaultsPayloadsOnFirstAccess) {
   EXPECT_EQ(Get(pk_, "lazy1"), "value-1");
 }
 
-TEST_F(RecoveryTest, RecoveredDataIsWritable) {
+TEST_P(RecoveryTest, RecoveredDataIsWritable) {
   Put("k", "v1");
   Restart();
   Put("k", "v2");
@@ -351,7 +356,7 @@ TEST_F(RecoveryTest, RecoveredDataIsWritable) {
   EXPECT_EQ(Get(pk_, "k"), "v2");
 }
 
-TEST_F(RecoveryTest, RecoveryAcrossManyRotatedSegments) {
+TEST_P(RecoveryTest, RecoveryAcrossManyRotatedSegments) {
   // Tiny segments force constant rotation: recovery must stitch the state
   // back together across dozens of files, skip records, and dead zones.
   EngineConfig small = config_;
@@ -390,7 +395,7 @@ TEST_F(RecoveryTest, RecoveryAcrossManyRotatedSegments) {
   }
 }
 
-TEST_F(RecoveryTest, LargeRecoveryVolume) {
+TEST_P(RecoveryTest, LargeRecoveryVolume) {
   constexpr int kN = 2000;
   {
     auto txn = std::make_unique<Transaction>(db_->get(), CcScheme::kSi);
@@ -423,7 +428,7 @@ TEST_F(RecoveryTest, LargeRecoveryVolume) {
 // block headers, so a header-valid/payload-torn block at the tail was kept,
 // the reopened log appended PAST it, and the next recovery — whose Scan
 // stops at the torn block — silently lost every post-reopen commit.
-TEST_F(RecoveryTest, PostReopenCommitsSurviveSecondRecoveryAfterTornTail) {
+TEST_P(RecoveryTest, PostReopenCommitsSurviveSecondRecoveryAfterTornTail) {
   Put("pre", "1");
   db_->ShutDown();
   AppendHeaderValidTornBlock();
@@ -451,7 +456,7 @@ TEST_F(RecoveryTest, PostReopenCommitsSurviveSecondRecoveryAfterTornTail) {
 
 // ---- checkpoint fallback --------------------------------------------------
 
-TEST_F(RecoveryTest, CorruptNewestCheckpointFallsBackToOlder) {
+TEST_P(RecoveryTest, CorruptNewestCheckpointFallsBackToOlder) {
   Put("a", "1");
   uint64_t begin1 = 0;
   ASSERT_TRUE((*db_)->TakeCheckpoint(&begin1).ok());
@@ -468,7 +473,7 @@ TEST_F(RecoveryTest, CorruptNewestCheckpointFallsBackToOlder) {
   EXPECT_EQ(Get(pk_, "c"), "3");
 }
 
-TEST_F(RecoveryTest, AllCheckpointsCorruptFallsBackToFullReplay) {
+TEST_P(RecoveryTest, AllCheckpointsCorruptFallsBackToFullReplay) {
   Put("a", "1");
   uint64_t begin1 = 0;
   ASSERT_TRUE((*db_)->TakeCheckpoint(&begin1).ok());
@@ -486,7 +491,7 @@ TEST_F(RecoveryTest, AllCheckpointsCorruptFallsBackToFullReplay) {
   EXPECT_EQ(Get(pk_, "c"), "3");
 }
 
-TEST_F(RecoveryTest, MissingCheckpointDataFileFallsBack) {
+TEST_P(RecoveryTest, MissingCheckpointDataFileFallsBack) {
   Put("a", "1");
   uint64_t begin1 = 0;
   ASSERT_TRUE((*db_)->TakeCheckpoint(&begin1).ok());
@@ -506,7 +511,7 @@ TEST_F(RecoveryTest, MissingCheckpointDataFileFallsBack) {
   EXPECT_EQ(Get(pk_, "c"), "3");
 }
 
-TEST_F(RecoveryTest, TruncatedCheckpointFallsBack) {
+TEST_P(RecoveryTest, TruncatedCheckpointFallsBack) {
   Put("a", "1");
   uint64_t begin = 0;
   ASSERT_TRUE((*db_)->TakeCheckpoint(&begin).ok());
@@ -527,7 +532,7 @@ TEST_F(RecoveryTest, TruncatedCheckpointFallsBack) {
 // record. The checkpoint must therefore dump tombstoned entries: their index
 // entry is the only durable key→OID mapping left. Found by the
 // crash-recovery harness.
-TEST_F(RecoveryTest, DeletedKeyReinsertedAfterCheckpointRecovers) {
+TEST_P(RecoveryTest, DeletedKeyReinsertedAfterCheckpointRecovers) {
   Put("k", "v1");
   Delete("k");
   ASSERT_TRUE((*db_)->TakeCheckpoint(nullptr).ok());
@@ -547,7 +552,7 @@ TEST_F(RecoveryTest, DeletedKeyReinsertedAfterCheckpointRecovers) {
 
 // ---- post-recovery visibility across CC schemes ---------------------------
 
-TEST_F(RecoveryTest, TombstonesInvisibleToAllSchemesAfterRecovery) {
+TEST_P(RecoveryTest, TombstonesInvisibleToAllSchemesAfterRecovery) {
   Put("keep1", "a", "skeep1");
   Put("dead1", "b", "sdead1");
   Put("keep2", "c", "skeep2");
@@ -609,7 +614,7 @@ TEST_F(RecoveryTest, TombstonesInvisibleToAllSchemesAfterRecovery) {
 // Without a checkpoint, the whole state comes from tail replay; under
 // lazy_recovery the replayed records must be installed as payload-less stubs
 // that materialize on first access — not eagerly fetched.
-TEST_F(RecoveryTest, LazyRollForwardInstallsStubs) {
+TEST_P(RecoveryTest, LazyRollForwardInstallsStubs) {
   Put("s1", "v1");
   Put("s2", "v2");
   EngineConfig lazy = config_;
@@ -635,6 +640,14 @@ TEST_F(RecoveryTest, LazyRollForwardInstallsStubs) {
   EXPECT_FALSE(head->stub) << "materialization should swap the chain head";
   EXPECT_EQ(Get(pk_, "s2"), "v2");
 }
+
+INSTANTIATE_TEST_SUITE_P(SerialAndParallel, RecoveryTest,
+                         ::testing::Values(1u, 4u),
+                         [](const ::testing::TestParamInfo<uint32_t>& info) {
+                           return info.param == 1
+                                      ? std::string("Serial")
+                                      : "Parallel" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace ermia

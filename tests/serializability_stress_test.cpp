@@ -1,0 +1,155 @@
+// Cross-scheme serializability stress test, built on the HistoryChecker
+// oracle (tests/history_checker.h). Workers hammer a small hot set with
+// short random read/write transactions — the highest-conflict shape — and
+// every committed transaction reports its footprint. The oracle then
+// rebuilds the WR/WW/RW dependency graph from the stamped values:
+//
+//   * SSN, OCC, and 2PL claim (conflict-)serializability: the graph must be
+//     acyclic, whatever interleaving the scheduler produced.
+//   * Plain SI does NOT: cycles of anti-dependencies (write skew) are legal
+//     outcomes, so the SI run only reports what the oracle found. The
+//     oracle's sensitivity is pinned separately by
+//     cc_si_test.OracleDetectsWriteSkewCycleUnderPlainSi.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "history_checker.h"
+#include "test_util.h"
+
+namespace ermia {
+namespace {
+
+class SerializabilityStressTest : public ::testing::TestWithParam<CcScheme> {
+ protected:
+  static constexpr int kRecords = 10;
+  static constexpr int kThreads = 4;
+  static constexpr int kTxnsPerThread = 300;
+
+  void SetUp() override {
+    db_ = std::make_unique<testing::TempDb>();
+    ASSERT_TRUE((*db_)->Open().ok());
+    table_ = (*db_)->CreateTable("t");
+    pk_ = (*db_)->CreateIndex(table_, "t_pk");
+    for (int i = 0; i < kRecords; ++i) {
+      char key[8];
+      std::snprintf(key, sizeof key, "r%02d", i);
+      Transaction txn(db_->get(), CcScheme::kSi);
+      Oid oid = 0;
+      char buf[8];
+      const uint64_t wid = checker_.NextWriteId();
+      ASSERT_TRUE(txn.Insert(table_, pk_, key,
+                             testing::HistoryChecker::EncodeWriteId(wid, buf),
+                             &oid)
+                      .ok());
+      ASSERT_TRUE(txn.Commit().ok());
+      // Seed writes participate in the graph as the records' creators.
+      testing::FootprintBuilder fp;
+      fp.OnWrite(oid, wid);
+      checker_.AddCommitted(std::move(fp).Finish(txn.tid()));
+      oids_.push_back(oid);
+    }
+  }
+
+  // Runs the random mixed workload under `scheme`, feeding the oracle.
+  void RunWorkload(CcScheme scheme) {
+    auto worker = [&](int seed) {
+      FastRandom rng(seed);
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        Transaction txn(db_->get(), scheme);
+        testing::FootprintBuilder fp;
+        bool aborted = false;
+        const int nops = 2 + static_cast<int>(rng.UniformU64(0, 3));
+        for (int op = 0; op < nops && !aborted; ++op) {
+          const int rec = static_cast<int>(rng.UniformU64(0, kRecords - 1));
+          Slice v;
+          Status rs = txn.Read(table_, oids_[rec], &v);
+          if (!rs.ok()) {
+            aborted = true;
+            break;
+          }
+          fp.OnRead(oids_[rec], v);
+          if (rng.Bernoulli(0.4)) {
+            const uint64_t wid = checker_.NextWriteId();
+            char buf[8];
+            Status ws =
+                txn.Update(table_, oids_[rec],
+                           testing::HistoryChecker::EncodeWriteId(wid, buf));
+            if (!ws.ok()) {
+              aborted = true;
+              break;
+            }
+            fp.OnWrite(oids_[rec], wid);
+          }
+        }
+        if (aborted) {
+          txn.Abort();
+          continue;
+        }
+        if (txn.Commit().ok()) {
+          checker_.AddCommitted(std::move(fp).Finish(txn.tid()));
+        }
+      }
+      ThreadRegistry::Deregister();
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t + 1);
+    for (auto& t : threads) t.join();
+  }
+
+  testing::HistoryChecker checker_;
+  std::unique_ptr<testing::TempDb> db_;
+  Table* table_ = nullptr;
+  Index* pk_ = nullptr;
+  std::vector<Oid> oids_;
+};
+
+TEST_P(SerializabilityStressTest, CommittedHistoryMatchesIsolationClaim) {
+  const CcScheme scheme = GetParam();
+  RunWorkload(scheme);
+  const auto result = checker_.Check();
+  // Seeds alone are kRecords commits; require real concurrent traffic.
+  ASSERT_GT(result.num_txns, static_cast<size_t>(kRecords) + 100)
+      << "too few commits to be meaningful";
+  if (scheme == CcScheme::kSi) {
+    // Write skew is a legal SI outcome: the oracle may or may not find a
+    // cycle in a random run. Record the verdict for the log; the guaranteed
+    // positive case lives in cc_si_test.
+    std::fprintf(stderr, "plain SI %s\n", result.Describe().c_str());
+  } else {
+    EXPECT_FALSE(result.cyclic)
+        << CcSchemeName(scheme)
+        << " committed a non-serializable history: " << result.Describe();
+    if (result.cyclic) {
+      // Postmortem: dump each record's version chain (newest first) so a
+      // failure shows whether a committed version was lost or merely read
+      // stale.
+      for (int i = 0; i < kRecords; ++i) {
+        std::fprintf(stderr, "chain oid %u:", oids_[i]);
+        Version* v = table_->array().Head(oids_[i]);
+        int depth = 0;
+        while (v != nullptr && depth++ < 8) {
+          const uint64_t wid = testing::HistoryChecker::DecodeWriteId(
+              Slice(v->value()));
+          std::fprintf(stderr, " [wid=%llu clsn=%llx]",
+                       (unsigned long long)wid,
+                       (unsigned long long)v->clsn.load());
+          v = v->next.load();
+        }
+        std::fprintf(stderr, "\n");
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SerializabilityStressTest,
+                         ::testing::Values(CcScheme::kSi, CcScheme::kSiSsn,
+                                           CcScheme::kOcc, CcScheme::k2pl),
+                         testing::SchemeParamName);
+
+}  // namespace
+}  // namespace ermia
