@@ -279,9 +279,11 @@ Status Transaction::SsnCommit() {
     // *before* the current log tail: every version they read committed below
     // the tail, and every future writer reserves at or above it — so the
     // reader's stamp can never tie with a writer's and trip the exclusion
-    // test spuriously. OrderedTail is an RMW so the reader still takes a
-    // position in the commit order (fact 1 in the header comment).
-    cstamp = Lsn::Make(db_->log().OrderedTail(), 0).value() - 1;
+    // test spuriously. A seq_cst load suffices for the ordering facts the
+    // protocol needs (see SeqCstTailBound in log_manager.h); the previous
+    // fetch_add(0) RMW bounced the shared offset line off every concurrent
+    // writer for no additional guarantee.
+    cstamp = Lsn::Make(db_->log().SeqCstTailBound(), 0).value() - 1;
   }
   ctx_->cstamp.store(cstamp, std::memory_order_release);
 

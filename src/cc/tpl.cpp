@@ -4,6 +4,8 @@
 // storage is used single-version-style: everyone reads the head). Strict
 // 2PL: all locks are held to commit/abort. Deadlocks are avoided by bounded
 // waiting — a lock that cannot be acquired aborts the transaction.
+#include <algorithm>
+
 #include "common/profiling.h"
 #include "engine/database.h"
 #include "txn/transaction.h"
@@ -18,15 +20,20 @@ uint64_t LockKey(Fid fid, Oid oid) {
 
 Status Transaction::TplAcquire(Table* table, Oid oid, bool exclusive) {
   const uint64_t key = LockKey(table->fid(), oid);
-  auto it = held_locks_.find(key);
+  // held_locks_ is a flat vector kept sorted by key: transactions hold few
+  // locks, so binary search + positional insert beats a hash map (no per-txn
+  // rehash/node allocations, and the pooled storage recycles wholesale).
+  auto it = std::lower_bound(
+      held_locks_.begin(), held_locks_.end(), key,
+      [](const TplLockEntry& e, uint64_t k) { return e.key < k; });
   RecordLockTable& locks = db_->lock_table();
-  if (it != held_locks_.end()) {
-    if (!exclusive || it->second) return Status::OK();  // already sufficient
+  if (it != held_locks_.end() && it->key == key) {
+    if (!exclusive || it->exclusive) return Status::OK();  // already sufficient
     if (!locks.TryUpgrade(table->fid(), oid)) {
       MarkAbort(metrics::AbortReason::kTplNoWait);
       return Status::Conflict("2pl upgrade timeout");
     }
-    it->second = true;
+    it->exclusive = true;
     return Status::OK();
   }
   const auto mode = exclusive ? RecordLockTable::Mode::kExclusive
@@ -35,16 +42,16 @@ Status Transaction::TplAcquire(Table* table, Oid oid, bool exclusive) {
     MarkAbort(metrics::AbortReason::kTplNoWait);
     return Status::Conflict("2pl lock timeout");
   }
-  held_locks_.emplace(key, exclusive);
+  held_locks_.insert(it, TplLockEntry{key, exclusive});
   return Status::OK();
 }
 
 void Transaction::TplReleaseAll() {
   RecordLockTable& locks = db_->lock_table();
-  for (const auto& [key, exclusive] : held_locks_) {
-    locks.Release(static_cast<Fid>(key >> 32), static_cast<Oid>(key),
-                  exclusive ? RecordLockTable::Mode::kExclusive
-                            : RecordLockTable::Mode::kShared);
+  for (const TplLockEntry& e : held_locks_) {
+    locks.Release(static_cast<Fid>(e.key >> 32), static_cast<Oid>(e.key),
+                  e.exclusive ? RecordLockTable::Mode::kExclusive
+                              : RecordLockTable::Mode::kShared);
   }
   held_locks_.clear();
 }

@@ -33,6 +33,12 @@ class ThreadRegistry {
   static uint32_t HighWaterMark();
 };
 
+// Version allocation backend (storage/version_alloc.h). kSlab is the
+// epoch-integrated per-thread slab allocator; kMalloc keeps raw malloc/free
+// selectable for sanitizer runs (real frees for use-after-free detection)
+// and A/B ablation.
+enum class VersionAllocMode : uint32_t { kSlab = 0, kMalloc = 1 };
+
 struct EngineConfig {
   // Directory for log segment files and checkpoints. Empty = fully in-memory
   // logging (log records still flow through the central buffer but are
@@ -91,6 +97,10 @@ struct EngineConfig {
   // copied"). 0 disables the daemon; checkpoints can still be taken
   // explicitly via Database::TakeCheckpoint().
   uint64_t checkpoint_interval_ms = 0;
+
+  // Version allocation backend. The ERMIA_VERSION_ALLOCATOR environment
+  // variable ("slab" | "malloc") overrides this at Database construction.
+  VersionAllocMode version_allocator = VersionAllocMode::kSlab;
 
   // Metrics reporter daemon: every interval, emit a JSON-lines delta of the
   // engine metrics snapshot. 0 disables the daemon (the registry itself is

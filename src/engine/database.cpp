@@ -1,11 +1,32 @@
 #include "engine/database.h"
 
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "storage/version_alloc.h"
 
 namespace ermia {
 
+namespace {
+// ERMIA_VERSION_ALLOCATOR=slab|malloc overrides the config (sanitizer runs
+// and ablation sweeps flip the backend without touching call sites).
+VersionAllocMode ResolveVersionAllocMode(VersionAllocMode configured) {
+  const char* env = std::getenv("ERMIA_VERSION_ALLOCATOR");
+  if (env == nullptr) return configured;
+  if (std::strcmp(env, "malloc") == 0) return VersionAllocMode::kMalloc;
+  if (std::strcmp(env, "slab") == 0) return VersionAllocMode::kSlab;
+  return configured;
+}
+}  // namespace
+
 Database::Database(EngineConfig config)
     : config_(std::move(config)), log_(config_, &metrics_) {
+  config_.version_allocator = ResolveVersionAllocMode(config_.version_allocator);
+  VersionAllocator::Instance().SetMode(config_.version_allocator);
+  // Register the GC epoch manager so deferred version frees can reference it
+  // by (slot, generation); detached in ~Database before members die.
+  VersionAllocator::Instance().AttachEpoch(&gc_epoch_);
   gc_epoch_.set_metrics(&metrics_);
   rcu_epoch_.set_metrics(&metrics_);
   tid_epoch_.set_metrics(&metrics_);
@@ -20,7 +41,13 @@ Database::Database(EngineConfig config)
   }
 }
 
-Database::~Database() { Close(); }
+Database::~Database() {
+  Close();
+  // After detach, any limbo entry still naming gc_epoch_ observes a
+  // generation mismatch and reclaims immediately — no harvest can
+  // dereference the manager once members start destructing below.
+  VersionAllocator::Instance().DetachEpoch(&gc_epoch_);
+}
 
 Status Database::Open() {
   ERMIA_CHECK(!open_);
@@ -174,6 +201,16 @@ metrics::MetricsSnapshot Database::SnapshotMetrics() const {
   set(metrics::Ctr::kTidActiveTxns, tids_.ActiveCount());
   set(metrics::Ctr::kEpochBoundaryLag,
       gc_epoch_.current() - gc_epoch_.ReclaimBoundary());
+  const VersionAllocator::Stats va = VersionAllocator::Instance().Snapshot();
+  set(metrics::Ctr::kVerAllocSlabBytes, va.slab_bytes);
+  set(metrics::Ctr::kVerAllocFreelistHits, va.freelist_hits);
+  set(metrics::Ctr::kVerAllocSlabCarves, va.slab_carves);
+  set(metrics::Ctr::kVerAllocTransferPushes, va.transfer_pushes);
+  set(metrics::Ctr::kVerAllocTransferPops, va.transfer_pops);
+  set(metrics::Ctr::kVerAllocMallocFallbacks, va.malloc_fallbacks);
+  set(metrics::Ctr::kVerAllocDeferredFrees, va.deferred_frees);
+  set(metrics::Ctr::kVerAllocLimboRecycled, va.limbo_recycled);
+  set(metrics::Ctr::kVerAllocLimboSize, va.limbo_size);
   return snap;
 }
 

@@ -65,6 +65,28 @@ class LogManager {
     return next_offset_.fetch_add(0, std::memory_order_seq_cst);
   }
 
+  // Contention-free variant for callers that only need a non-stale tail
+  // bound with seq_cst ordering: a seq_cst *load* of the offset word, no RMW,
+  // so read-only committers do not bounce the shared cache line that every
+  // writer's ReserveBlock hammers. The modification-order argument above
+  // still holds in both directions, because all the operations involved
+  // participate in the single total order S of seq_cst operations:
+  //  * Any ReserveBlock fetch_add ordered before this load in S has its
+  //    value (or a later one) returned here — the caller's derived stamp
+  //    (tail - 1) is >= that writer's cstamp, exactly as with the RMW.
+  //  * Any writer whose fetch_add comes after this load in S claims an
+  //    offset >= the returned tail, so its cstamp is strictly above the
+  //    caller's (tail - 1) stamp.
+  //  * A peer's kCommitting state store (seq_cst) that precedes its stamp
+  //    claim is ordered in S before that claim; a committer that observes
+  //    the peer as not-yet-committing before taking this bound can still
+  //    conclude the peer's eventual cstamp exceeds its own.
+  // Callers that additionally need to *occupy a position* in the offset
+  // word's modification order (none today) must keep using OrderedTail().
+  uint64_t SeqCstTailBound() const {
+    return next_offset_.load(std::memory_order_seq_cst);
+  }
+
   // Copies a fully serialized block (header + records) into the central ring
   // and marks its range complete. `size` must equal the reserved size.
   void InstallBlock(Lsn lsn, const void* block, uint32_t size);

@@ -107,6 +107,10 @@ const char* CtrName(Ctr c) {
       return "recovery_checkpoint_entries";
     case Ctr::kRecoveryDurationUs:
       return "recovery_duration_us";
+    case Ctr::kTxnResPoolHits:
+      return "txn_res_pool_hits";
+    case Ctr::kTxnResPoolMisses:
+      return "txn_res_pool_misses";
     case Ctr::kIndexNodeSplits:
       return "index_node_splits";
     case Ctr::kIndexReadRetries:
@@ -117,6 +121,24 @@ const char* CtrName(Ctr c) {
       return "tid_active_txns";
     case Ctr::kEpochBoundaryLag:
       return "epoch_boundary_lag";
+    case Ctr::kVerAllocSlabBytes:
+      return "ver_alloc_slab_bytes";
+    case Ctr::kVerAllocFreelistHits:
+      return "ver_alloc_freelist_hits";
+    case Ctr::kVerAllocSlabCarves:
+      return "ver_alloc_slab_carves";
+    case Ctr::kVerAllocTransferPushes:
+      return "ver_alloc_transfer_pushes";
+    case Ctr::kVerAllocTransferPops:
+      return "ver_alloc_transfer_pops";
+    case Ctr::kVerAllocMallocFallbacks:
+      return "ver_alloc_malloc_fallbacks";
+    case Ctr::kVerAllocDeferredFrees:
+      return "ver_alloc_deferred_frees";
+    case Ctr::kVerAllocLimboRecycled:
+      return "ver_alloc_limbo_recycled";
+    case Ctr::kVerAllocLimboSize:
+      return "ver_alloc_limbo_size";
     case Ctr::kNumCounters:
       break;
   }

@@ -98,12 +98,26 @@ enum class Ctr : uint32_t {
   kRecoveryReplayBytes,
   kRecoveryCheckpointEntries,
   kRecoveryDurationUs,
+  // Transaction resource pool (txn/txn_resources.h).
+  kTxnResPoolHits,
+  kTxnResPoolMisses,
   // ---- sampled gauges (filled at snapshot time, not sharded) ----
   kIndexNodeSplits,
   kIndexReadRetries,
   kTidOccupancyHwm,
   kTidActiveTxns,
   kEpochBoundaryLag,
+  // Version allocator (storage/version_alloc.h; mirrors
+  // VersionAllocator::Snapshot()).
+  kVerAllocSlabBytes,
+  kVerAllocFreelistHits,
+  kVerAllocSlabCarves,
+  kVerAllocTransferPushes,
+  kVerAllocTransferPops,
+  kVerAllocMallocFallbacks,
+  kVerAllocDeferredFrees,
+  kVerAllocLimboRecycled,
+  kVerAllocLimboSize,
   kNumCounters,
 };
 

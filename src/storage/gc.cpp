@@ -91,21 +91,16 @@ size_t GarbageCollector::RunOnce() {
       // exist the record will be re-enqueued by its next update anyway.
       continue;
     }
-    // Count before handing the chain to the epoch manager: once deferred,
-    // another thread may run the reclaimer and free it under us.
-    for (Version* v = dead; v != nullptr;
-         v = v->next.load(std::memory_order_relaxed)) {
+    // Walk once, handing each version to the allocator's epoch-integrated
+    // limbo (FreeDeferred does not touch the version's bytes — in-flight
+    // readers may still traverse the unlinked chain — so reading `next`
+    // after the call would also be safe; reading it before is clearer).
+    for (Version* v = dead; v != nullptr;) {
+      Version* next = v->next.load(std::memory_order_relaxed);
+      Version::FreeDeferred(gc_epoch_, v);
       ++reclaimed;
+      v = next;
     }
-    // Defer the frees until every thread active now has quiesced.
-    gc_epoch_->Defer([dead] {
-      Version* v = dead;
-      while (v != nullptr) {
-        Version* next = v->next.load(std::memory_order_relaxed);
-        Version::Free(v);
-        v = next;
-      }
-    });
   }
   total_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
   if (metrics_ != nullptr) {

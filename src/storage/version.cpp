@@ -1,15 +1,17 @@
 #include "storage/version.h"
 
-#include <cstdlib>
 #include <new>
+
+#include "storage/version_alloc.h"
 
 namespace ermia {
 
 Version* Version::Alloc(const Slice& payload, bool tombstone) {
   const size_t bytes = sizeof(Version) + (tombstone ? 0 : payload.size());
-  void* mem = std::malloc(bytes);
-  ERMIA_CHECK(mem != nullptr);
+  uint8_t cls;
+  void* mem = VersionAllocator::Instance().Allocate(bytes, &cls);
   Version* v = new (mem) Version();
+  v->alloc_class = cls;
   v->tombstone = tombstone;
   if (!tombstone) {
     v->size = static_cast<uint32_t>(payload.size());
@@ -19,9 +21,10 @@ Version* Version::Alloc(const Slice& payload, bool tombstone) {
 }
 
 Version* Version::AllocStub(uint64_t log_ptr, uint32_t size) {
-  void* mem = std::malloc(sizeof(Version));
-  ERMIA_CHECK(mem != nullptr);
+  uint8_t cls;
+  void* mem = VersionAllocator::Instance().Allocate(sizeof(Version), &cls);
   Version* v = new (mem) Version();
+  v->alloc_class = cls;
   v->stub = true;
   v->log_ptr = log_ptr;
   v->size = size;
@@ -30,8 +33,18 @@ Version* Version::AllocStub(uint64_t log_ptr, uint32_t size) {
 
 void Version::Free(Version* v) {
   if (v == nullptr) return;
+  const uint8_t cls = v->alloc_class;
   v->~Version();
-  std::free(v);
+  VersionAllocator::Instance().Free(v, cls);
+}
+
+void Version::FreeDeferred(EpochManager* epoch, Version* v) {
+  if (v == nullptr) return;
+  // No destructor call and no writes here: readers that picked up v before
+  // it was unlinked may still load its fields until the epoch closes. The
+  // struct is trivially destructible, so deferring the (no-op) destruction
+  // is sound; the allocator only touches the bytes at harvest time.
+  VersionAllocator::Instance().FreeDeferred(v, v->alloc_class, epoch);
 }
 
 }  // namespace ermia

@@ -19,6 +19,8 @@
 
 namespace ermia {
 
+class EpochManager;
+
 // Stamp word encoding: TID stamps carry the high bit; LSN stamps are raw
 // Lsn::value()s (their offsets never reach bit 63).
 inline constexpr uint64_t kTidStampFlag = 1ull << 63;
@@ -65,6 +67,10 @@ struct Version {
   // `size` bytes live in the log at `log_ptr` and are faulted in on first
   // access (the engine swaps the stub for a materialized version).
   bool stub{false};
+  // Allocator provenance (VersionAllocator size class, or 0xFF for raw
+  // malloc). Set by Alloc/AllocStub; Free routes by it, so versions survive
+  // an EngineConfig::version_allocator mode change mid-process.
+  uint8_t alloc_class{0xFF};
 
   // Payload bytes follow the struct.
   char* data() { return reinterpret_cast<char*>(this + 1); }
@@ -76,7 +82,15 @@ struct Version {
   // Allocates a payload-less stub referencing `size` durable bytes at
   // `log_ptr` (lazy recovery).
   static Version* AllocStub(uint64_t log_ptr, uint32_t size);
+  // Immediate free. Only for versions that were never published to a chain
+  // (aborted OCC intents, transaction-private scratch copies): the storage
+  // is recyclable to another thread right away.
   static void Free(Version* v);
+  // Epoch-deferred free for versions that were reachable from an indirection
+  // chain: concurrent readers may still traverse v until `epoch`'s
+  // reclamation boundary passes the current epoch, so the storage joins the
+  // allocator's limbo list untouched and recycles only after that.
+  static void FreeDeferred(EpochManager* epoch, Version* v);
 };
 
 }  // namespace ermia

@@ -22,7 +22,19 @@ const char* CcSchemeName(CcScheme scheme) {
 }
 
 Transaction::Transaction(Database* db, CcScheme scheme, bool read_only)
-    : db_(db), scheme_(scheme), read_only_(read_only) {
+    : db_(db),
+      scheme_(scheme),
+      read_only_(read_only),
+      res_(TxnResourcePool::Acquire(&res_pool_hit_)),
+      read_set_(res_->read_set),
+      write_set_(res_->write_set),
+      node_set_(res_->node_set),
+      index_inserts_(res_->index_inserts),
+      held_locks_(res_->held_locks),
+      scratch_versions_(res_->scratch_versions),
+      staging_(res_->staging) {
+  db_->metrics().Inc(res_pool_hit_ ? metrics::Ctr::kTxnResPoolHits
+                                   : metrics::Ctr::kTxnResPoolMisses);
   {
     ERMIA_PROF_EPOCH();
     db_->gc_epoch().Enter();
@@ -428,6 +440,11 @@ void Transaction::Finish(bool committed) {
   }
   prof::Bump(prof::MyCounters().transactions, 1);
   finished_ = true;
+  // Last touch of the containers: the reference members dangle once the
+  // bundle returns to the pool (another transaction on this thread may
+  // acquire it immediately).
+  TxnResourcePool::Release(res_);
+  res_ = nullptr;
 }
 
 void Transaction::RegisterNode(const NodeHandle& handle) {
@@ -450,8 +467,7 @@ Version* Transaction::MaterializeStub(Table* table, Oid oid, Version* stub) {
   // Fast path: the stub is still the chain head — swap it so every later
   // reader gets the materialized version for free.
   if (table->array().CasHead(oid, stub, full)) {
-    Version* dead = stub;
-    db_->gc_epoch().Defer([dead] { Version::Free(dead); });
+    Version::FreeDeferred(&db_->gc_epoch(), stub);
     return full;
   }
   // Someone installed above the stub (or materialized it concurrently):
@@ -536,8 +552,7 @@ void Transaction::Abort() {
     Version* next = w.version->next.load(std::memory_order_relaxed);
     bool ok = w.table->array().CasHead(w.oid, w.version, next);
     ERMIA_CHECK(ok);
-    Version* dead = w.version;
-    db_->gc_epoch().Defer([dead] { Version::Free(dead); });
+    Version::FreeDeferred(&db_->gc_epoch(), w.version);
   }
   // Release freshly allocated OIDs — but only while their chains are still
   // empty. A racer that slipped through the reuse window gets to keep the

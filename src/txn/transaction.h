@@ -18,7 +18,6 @@
 #define ERMIA_TXN_TRANSACTION_H_
 
 #include <functional>
-#include <unordered_map>
 #include <string>
 #include <vector>
 
@@ -29,6 +28,7 @@
 #include "metrics/metrics.h"
 #include "storage/table.h"
 #include "txn/tid_manager.h"
+#include "txn/txn_resources.h"
 
 namespace ermia {
 
@@ -128,27 +128,12 @@ class Transaction {
       abort_marked_ = true;
     }
   }
-  struct ReadSetEntry {
-    Version* version;                // the version this transaction read
-    std::atomic<Version*>* slot;     // its indirection slot (OCC validation)
-  };
-
-  struct WriteSetEntry {
-    Table* table;
-    Oid oid;
-    Version* version;  // new version: installed (SI/SSN) or intent (OCC)
-    Version* prev;     // head observed/overwritten; nullptr for inserts
-    std::atomic<Version*>* slot;
-    bool is_insert;
-    bool installed;  // version is at the chain head (OCC installs at commit)
-    uint32_t staging_payload_off;  // payload position inside staging_
-  };
-
-  struct IndexInsertEntry {
-    Index* index;
-    Varstr key;
-    Oid oid;
-  };
+  // Entry types live at namespace scope (txn/txn_resources.h) so the pooled
+  // TxnResources can own the containers; the aliases keep the historical
+  // Transaction::WriteSetEntry spelling working.
+  using ReadSetEntry = ::ermia::ReadSetEntry;
+  using WriteSetEntry = ::ermia::WriteSetEntry;
+  using IndexInsertEntry = ::ermia::IndexInsertEntry;
 
   // ---- shared helpers (transaction.cpp) ----
   Status StageRecord(LogRecordType type, Fid fid, Oid oid, const Slice& key,
@@ -234,22 +219,32 @@ class Transaction {
   // SSN reader-registry slot (kNoSlot until the first tracked read).
   uint32_t ssn_reader_slot_ = UINT32_MAX;
 
-  std::vector<ReadSetEntry> read_set_;
-  std::vector<WriteSetEntry> write_set_;
-  std::vector<NodeHandle> node_set_;
-  std::vector<IndexInsertEntry> index_inserts_;
+  // Pooled container bundle (txn/txn_resources.h): acquired at begin,
+  // returned (cleared, capacity retained) by Finish. The reference members
+  // below bind into it so the CC code reads exactly as before; they dangle
+  // once Finish releases res_, but by then the transaction is finished and
+  // nothing touches them. Declared before the references (initialization
+  // order).
+  bool res_pool_hit_ = false;
+  TxnResources* res_;
 
-  // 2PL: locks held, keyed by (fid << 32 | oid); value = exclusive?
-  std::unordered_map<uint64_t, bool> held_locks_;
+  std::vector<ReadSetEntry>& read_set_;
+  std::vector<WriteSetEntry>& write_set_;
+  std::vector<NodeHandle>& node_set_;
+  std::vector<IndexInsertEntry>& index_inserts_;
+
+  // 2PL: locks held, sorted by (fid << 32 | oid) for binary search
+  // (cc/tpl.cpp).
+  std::vector<TplLockEntry>& held_locks_;
 
   // Transaction-private materializations of lazy-recovery stubs that could
   // not be swapped into the chain; freed when the transaction finishes.
-  std::vector<Version*> scratch_versions_;
+  std::vector<Version*>& scratch_versions_;
 
   // Private log staging buffer: record headers + keys + payloads,
   // concatenated in operation order (paper: "accumulate descriptors in the
   // private log buffer to avoid log buffer contention").
-  std::vector<char> staging_;
+  std::vector<char>& staging_;
   uint32_t staged_records_ = 0;
 };
 

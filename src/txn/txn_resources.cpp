@@ -1,0 +1,50 @@
+#include "txn/txn_resources.h"
+
+namespace ermia {
+
+namespace {
+
+// Bounded per-thread pool. Transactions on one thread rarely nest (the bench
+// drivers and tests run one at a time; a handful covers scans that open
+// helper transactions), so overflow just falls back to the heap.
+constexpr size_t kMaxPooled = 8;
+
+struct PoolTls {
+  std::vector<TxnResources*> pool;
+  ~PoolTls() {
+    for (TxnResources* r : pool) delete r;
+  }
+};
+
+thread_local PoolTls tls_pool;
+
+}  // namespace
+
+TxnResources* TxnResourcePool::Acquire(bool* pool_hit) {
+  auto& pool = tls_pool.pool;
+  if (!pool.empty()) {
+    TxnResources* r = pool.back();
+    pool.pop_back();
+    if (pool_hit != nullptr) *pool_hit = true;
+    return r;
+  }
+  if (pool_hit != nullptr) *pool_hit = false;
+  return new TxnResources();
+}
+
+void TxnResourcePool::Release(TxnResources* res) {
+  if (res == nullptr) return;
+  res->Clear();
+  auto& pool = tls_pool.pool;
+  if (pool.size() < kMaxPooled) {
+    pool.push_back(res);
+  } else {
+    delete res;
+  }
+}
+
+size_t TxnResourcePool::PooledCountForTesting() {
+  return tls_pool.pool.size();
+}
+
+}  // namespace ermia
