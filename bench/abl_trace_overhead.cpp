@@ -1,0 +1,100 @@
+// Ablation: cost of the flight-recorder trace layer on TPC-C. Runs the same
+// workload with tracing off, sampled (1-in-64 transactions), and all, flipped
+// via trace::Configure between samples — the always-compiled instrumentation
+// branches are present in every configuration, so "off" measures the branch
+// cost and the other two add the ring writes. Acceptance: off within noise of
+// itself across pairs (sanity), sampled within ~2% of off; "all" is reported
+// for completeness but has no budget (it records every event of every txn).
+#include <algorithm>
+#include <string>
+
+#include "bench_util.h"
+#include "trace/trace.h"
+#include "workloads/tpcc/tpcc_workload.h"
+
+using namespace ermia;
+using namespace ermia::bench;
+
+int main(int argc, char** argv) {
+  PrintHeader("abl_trace_overhead: flight recorder off vs sampled vs all",
+              "DESIGN.md ablation (observability layer)");
+  JsonReporter json(argc, argv, "abl_trace_overhead");
+
+  const double seconds = EnvSeconds(0.5);
+  const std::vector<uint32_t> threads = EnvThreads({1, 2, 4});
+  const uint32_t scale = EnvScale(std::max(2u, threads.back()));
+
+  // TPC-C per the acceptance criterion: short transactions with several
+  // reads/writes each, so the per-event Emit cost gets maximal exposure.
+  // One database serves every sample — reloading between runs would swamp
+  // the measured effect with allocator/page-cache state differences.
+  tpcc::TpccConfig cfg;
+  cfg.warehouses = scale;
+  tpcc::TpccWorkload workload(cfg, tpcc::TpccRunOptions{});
+  ScopedDatabase scoped;
+  ERMIA_CHECK(scoped.db->Open().ok());
+  ERMIA_CHECK(workload.Load(scoped.db).ok());
+
+  auto run = [&](TraceMode mode, uint32_t t) {
+    trace::Configure(mode, /*sample_every=*/64);
+    BenchOptions options;
+    options.threads = t;
+    options.seconds = seconds;
+    options.scheme = CcScheme::kSi;
+    BenchResult r = RunBench(scoped.db, &workload, options);
+    trace::Configure(TraceMode::kOff, 64);
+    return r;
+  };
+
+  struct ModeRow {
+    const char* name;
+    TraceMode mode;
+  };
+  const ModeRow modes[] = {{"sampled-1/64", TraceMode::kSampled},
+                           {"all", TraceMode::kAll}};
+
+  // Same methodology as abl_metrics_overhead: the per-event cost is below a
+  // shared box's run-to-run noise, so several back-to-back A/B pairs with
+  // alternating within-pair order (AB, BA, ...) cancel monotone drift, and
+  // the reported overhead is the median of the per-pair ratios. A throwaway
+  // round absorbs the cold start.
+  constexpr int kReps = 5;
+  run(TraceMode::kOff, threads.front());
+  std::printf("\nTPC-C (%u warehouses), ERMIA-SI\n", scale);
+  std::printf("%14s %8s %14s %14s %10s\n", "mode", "threads", "off-kTps",
+              "traced-kTps", "overhead");
+  for (const ModeRow& m : modes) {
+    for (uint32_t t : threads) {
+      std::vector<double> ratios;  // traced/off per pair
+      std::vector<double> off_tps, on_tps;
+      BenchResult off, on;
+      for (int rep = 0; rep < kReps; ++rep) {
+        BenchResult o, x;
+        if (rep % 2 == 0) {
+          o = run(TraceMode::kOff, t);
+          x = run(m.mode, t);
+        } else {
+          x = run(m.mode, t);
+          o = run(TraceMode::kOff, t);
+        }
+        if (o.tps() > 0) ratios.push_back(x.tps() / o.tps());
+        off_tps.push_back(o.tps());
+        on_tps.push_back(x.tps());
+        off = std::move(o);
+        on = std::move(x);
+      }
+      std::sort(ratios.begin(), ratios.end());
+      std::sort(off_tps.begin(), off_tps.end());
+      std::sort(on_tps.begin(), on_tps.end());
+      const double overhead =
+          ratios.empty() ? 0.0 : 100.0 * (1.0 - ratios[ratios.size() / 2]);
+      std::printf("%14s %8u %14.2f %14.2f %9.2f%%\n", m.name, t,
+                  off_tps[kReps / 2] / 1000.0, on_tps[kReps / 2] / 1000.0,
+                  overhead);
+      json.Add(std::string("off/") + m.name + "/threads=" + std::to_string(t),
+               off);
+      json.Add(std::string(m.name) + "/threads=" + std::to_string(t), on);
+    }
+  }
+  return 0;
+}

@@ -9,6 +9,7 @@
 //    and never abort (Silo's read-only snapshots).
 #include "common/profiling.h"
 #include "engine/database.h"
+#include "trace/trace.h"
 #include "txn/transaction.h"
 
 namespace ermia {
@@ -106,6 +107,9 @@ Status Transaction::OccUpdate(Table* table, Oid oid, const Slice& value,
 // stamp or log block is needed: the transaction publishes nothing.
 Status Transaction::OccReadOnlyCommit() {
   ctx_->StoreState(TxnState::kCommitting);
+  if (ERMIA_UNLIKELY(traced_)) {
+    trace::Emit(trace::Event::kCertifyBegin, tid_, 0, 0);
+  }
   // Same walk as OccCommit phase 2. With an empty write set there are no own
   // installs to skip, so this degenerates to "the observed version is still
   // the head"; a foreign in-flight intent on top counts as a conflict
@@ -133,6 +137,9 @@ Status Transaction::OccReadOnlyCommit() {
       MarkAbort(metrics::AbortReason::kPhantom);
       failure = ns;
     }
+  }
+  if (ERMIA_UNLIKELY(traced_)) {
+    trace::Emit(trace::Event::kCertifyEnd, tid_, failure.ok() ? 1 : 0, 0);
   }
   if (!failure.ok()) {
     Abort();
@@ -164,6 +171,9 @@ Status Transaction::OccCommit() {
   Lsn clsn = ReserveCommitBlock();
   ctx_->cstamp.store(clsn.value(), std::memory_order_release);
   ctx_->StoreState(TxnState::kCommitting);
+  if (ERMIA_UNLIKELY(traced_)) {
+    trace::Emit(trace::Event::kCertifyBegin, tid_, 0, 0);
+  }
 
   // Phase 2: validate the read set. A read is valid if the slot still leads
   // to the observed version through nothing but our own installs.
@@ -191,6 +201,9 @@ Status Transaction::OccCommit() {
       failure = ns;
     }
   }
+  if (ERMIA_UNLIKELY(traced_)) {
+    trace::Emit(trace::Event::kCertifyEnd, tid_, failure.ok() ? 1 : 0, 0);
+  }
   if (!failure.ok()) {
     db_->log().InstallSkip(clsn, BlockSizeForStaging());
     Abort();
@@ -201,7 +214,7 @@ Status Transaction::OccCommit() {
   ctx_->StoreState(TxnState::kCommitted);
   PostCommit(clsn);
   if (db_->config().synchronous_commit) {
-    db_->log().WaitForDurable(clsn.offset() + BlockSizeForStaging());
+    WaitCommitDurable(clsn.offset() + BlockSizeForStaging());
   }
   Finish(true);
   return Status::OK();

@@ -157,7 +157,7 @@ Status Transaction::SiCommit() {
   PostCommit(clsn);
   if (db_->config().synchronous_commit) {
     ERMIA_PROF_LOG();
-    db_->log().WaitForDurable(clsn.offset() + BlockSizeForStaging());
+    WaitCommitDurable(clsn.offset() + BlockSizeForStaging());
   }
   Finish(true);
   return Status::OK();

@@ -26,6 +26,7 @@
 //      waits-for relation is acyclic and the protocol is deadlock-free.
 #include "common/spin_latch.h"
 #include "engine/database.h"
+#include "trace/trace.h"
 #include "txn/transaction.h"
 
 namespace ermia {
@@ -288,6 +289,9 @@ Status Transaction::SsnCommit() {
   ctx_->cstamp.store(cstamp, std::memory_order_release);
 
   bool pass;
+  if (ERMIA_UNLIKELY(traced_)) {
+    trace::Emit(trace::Event::kCertifyBegin, tid_, 0, 0);
+  }
   {
     // Certification (stamp finalization + exclusion test + publication) is
     // the CC component of the Fig. 11 cycle breakdown.
@@ -323,6 +327,9 @@ Status Transaction::SsnCommit() {
       if (pass) SsnPublishStamps(cstamp, pstamp, sstamp);
     }
   }
+  if (ERMIA_UNLIKELY(traced_)) {
+    trace::Emit(trace::Event::kCertifyEnd, tid_, pass ? 1 : 0, 0);
+  }
 
   if (!pass) {
     MarkAbort(metrics::AbortReason::kSsnExclusionCommit);
@@ -338,7 +345,7 @@ Status Transaction::SsnCommit() {
   if (has_writes) {
     PostCommit(clsn);
     if (db_->config().synchronous_commit) {
-      db_->log().WaitForDurable(clsn.offset() + BlockSizeForStaging());
+      WaitCommitDurable(clsn.offset() + BlockSizeForStaging());
     }
   }
   Finish(true);

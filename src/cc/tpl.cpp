@@ -8,6 +8,7 @@
 
 #include "common/profiling.h"
 #include "engine/database.h"
+#include "trace/trace.h"
 #include "txn/transaction.h"
 
 namespace ermia {
@@ -102,7 +103,14 @@ Status Transaction::TplUpdate(Table* table, Oid oid, const Slice& value,
 Status Transaction::TplCommit() {
   // Phantom protection via node-set validation, as in OCC/SSN (key-range
   // locking would be the classic alternative; the paper names both, §3.6.2).
+  // Under strict 2PL this validation is the whole certification phase.
+  if (ERMIA_UNLIKELY(traced_)) {
+    trace::Emit(trace::Event::kCertifyBegin, tid_, 0, 0);
+  }
   Status ns = NodeSetValidate();
+  if (ERMIA_UNLIKELY(traced_)) {
+    trace::Emit(trace::Event::kCertifyEnd, tid_, ns.ok() ? 1 : 0, 0);
+  }
   if (!ns.ok()) {
     MarkAbort(metrics::AbortReason::kPhantom);
     Abort();
@@ -115,7 +123,7 @@ Status Transaction::TplCommit() {
   ctx_->StoreState(TxnState::kCommitted);
   PostCommit(clsn);
   if (db_->config().synchronous_commit) {
-    db_->log().WaitForDurable(clsn.offset() + BlockSizeForStaging());
+    WaitCommitDurable(clsn.offset() + BlockSizeForStaging());
   }
   TplReleaseAll();
   Finish(true);

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <ctime>
 
 #include "common/sysconf.h"
 
@@ -41,6 +42,56 @@ inline uint64_t Cycles() {
          static_cast<uint64_t>(ts.tv_nsec);
 #endif
 }
+
+// rdtsc→wall-clock calibration, computed once per process and shared by
+// every consumer that converts Cycles() to time: the Fig. 11 breakdown, the
+// trace dump header (tools/ermia_trace uses it to place events on a real
+// timeline), and MetricsSnapshot::ToJson's cycles_per_ns field. The anchor
+// pair (a Cycles() reading and the CLOCK_REALTIME instant it was taken)
+// lets decoders map any timestamp from the same invariant-TSC domain to an
+// absolute time. On non-x86, Cycles() already returns CLOCK_MONOTONIC
+// nanoseconds, so cycles_per_ns is exactly 1.0 and no measurement runs.
+struct Calibration {
+  double cycles_per_ns = 1.0;
+  uint64_t anchor_tsc = 0;      // Cycles() at calibration
+  uint64_t anchor_unix_ns = 0;  // CLOCK_REALTIME at the same instant
+};
+
+inline Calibration CalibrateCycles() {
+  Calibration c;
+  struct timespec rt;
+  clock_gettime(CLOCK_REALTIME, &rt);
+  c.anchor_unix_ns = static_cast<uint64_t>(rt.tv_sec) * 1000000000ull +
+                     static_cast<uint64_t>(rt.tv_nsec);
+  c.anchor_tsc = Cycles();
+#if defined(__x86_64__)
+  // Measure the TSC against a ~2 ms CLOCK_MONOTONIC interval. Modern x86
+  // TSCs are invariant (constant rate across P-states), so one short sample
+  // at startup holds for the process lifetime.
+  struct timespec t0, t1;
+  clock_gettime(CLOCK_MONOTONIC, &t0);
+  const uint64_t c0 = Cycles();
+  uint64_t elapsed_ns = 0;
+  do {
+    clock_gettime(CLOCK_MONOTONIC, &t1);
+    elapsed_ns = static_cast<uint64_t>(t1.tv_sec - t0.tv_sec) * 1000000000ull +
+                 static_cast<uint64_t>(t1.tv_nsec - t0.tv_nsec);
+  } while (elapsed_ns < 2000000);
+  const uint64_t c1 = Cycles();
+  c.cycles_per_ns = static_cast<double>(c1 - c0) /
+                    static_cast<double>(elapsed_ns);
+#endif
+  return c;
+}
+
+// First call pays the ~2 ms measurement; Database::Open forces it so the
+// async-signal-safe trace dump path never calibrates inside a handler.
+inline const Calibration& GetCalibration() {
+  static const Calibration c = CalibrateCycles();
+  return c;
+}
+
+inline double CyclesPerNs() { return GetCalibration().cycles_per_ns; }
 
 // Plain value type: what SnapshotAll() returns and what consumers diff.
 struct Counters {

@@ -33,6 +33,11 @@ class ThreadRegistry {
   static uint32_t HighWaterMark();
 };
 
+// Flight-recorder trace granularity (trace/trace.h). kSampled records the
+// full lifecycle of 1-in-trace_sample_every transactions (daemon events are
+// always recorded when tracing is on); kAll records every transaction.
+enum class TraceMode : uint32_t { kOff = 0, kSampled = 1, kAll = 2 };
+
 // Version allocation backend (storage/version_alloc.h). kSlab is the
 // epoch-integrated per-thread slab allocator; kMalloc keeps raw malloc/free
 // selectable for sanitizer runs (real frees for use-after-free detection)
@@ -109,6 +114,32 @@ struct EngineConfig {
 
   // Destination for reporter output; empty = stderr.
   std::string metrics_report_path;
+
+  // Flight recorder (trace/trace.h): per-thread binary event rings, always
+  // compiled in and gated at run time by this mode. The ERMIA_TRACE
+  // environment variable ("off" | "sampled[:N]" | "all") overrides it at
+  // Database construction. The recorder is process-global; only one open
+  // Database should enable tracing at a time (the enabling Database turns it
+  // off again on Close()).
+  TraceMode trace_mode = TraceMode::kOff;
+
+  // Sampling period for TraceMode::kSampled: trace 1 in N transactions
+  // (per-thread decision, so every worker contributes samples).
+  uint32_t trace_sample_every = 64;
+
+  // Slow-transaction capture: committed transactions whose begin-to-commit
+  // latency exceeds this persist their full event breakdown as a JSON line.
+  // 0 disables capture. Only traced transactions are eligible, so under
+  // kSampled this sees 1-in-N of the slow tail.
+  uint64_t trace_slow_txn_us = 0;
+
+  // Destination for slow-transaction JSON lines; empty = stderr.
+  std::string trace_slow_txn_path;
+
+  // If non-empty, Database::Open installs a fatal-signal handler that dumps
+  // the trace rings to this path post-mortem (composes with the crash
+  // harness: the handler re-raises, preserving the death signal).
+  std::string trace_crash_dump_path;
 };
 
 }  // namespace ermia

@@ -28,6 +28,7 @@
 #include "common/spin_latch.h"
 #include "engine/database.h"
 #include "engine/checkpoint_format.h"
+#include "trace/trace.h"
 
 namespace ermia {
 
@@ -154,6 +155,10 @@ Status Database::TakeCheckpoint(uint64_t* begin_offset_out) {
     hdr.checksum = LogChecksum(nullptr, 0);
     log_.InstallBlock(lsn, &hdr, sizeof hdr);
   }
+  const bool traced = trace::Active();
+  if (ERMIA_UNLIKELY(traced)) {
+    trace::Emit(trace::Event::kCkptBegin, 0, begin, 0);
+  }
 
   // Collect under an epoch guard so the GC cannot free versions under us.
   EpochGuard guard(gc_epoch_);
@@ -180,6 +185,10 @@ Status Database::TakeCheckpoint(uint64_t* begin_offset_out) {
           return true;
         },
         nullptr);
+  }
+
+  if (ERMIA_UNLIKELY(traced)) {
+    trace::Emit(trace::Event::kCkptCollected, 0, begin, 0);
   }
 
   // Every address we recorded must be durable before the checkpoint counts.
@@ -231,6 +240,9 @@ Status Database::TakeCheckpoint(uint64_t* begin_offset_out) {
   // The data file's dirent must be durable before the marker exists in any
   // crash-surviving state.
   ERMIA_RETURN_NOT_OK(fault::SyncDir(config_.log_dir));
+  if (ERMIA_UNLIKELY(traced)) {
+    trace::Emit(trace::Event::kCkptDataSynced, 0, begin, 0);
+  }
 
   // Checkpoint-end block, then the marker file: the marker's existence is
   // what recovery trusts (crash before this point = previous checkpoint).
@@ -252,6 +264,9 @@ Status Database::TakeCheckpoint(uint64_t* begin_offset_out) {
   ::close(mfd);
   // Final commit point: the marker's dirent is durable only after this.
   ERMIA_RETURN_NOT_OK(fault::SyncDir(config_.log_dir));
+  if (ERMIA_UNLIKELY(traced)) {
+    trace::Emit(trace::Event::kCkptEnd, 0, begin, 0);
+  }
   if (begin_offset_out != nullptr) *begin_offset_out = begin;
   return Status::OK();
 }

@@ -1,10 +1,13 @@
 #include "engine/database.h"
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "common/profiling.h"
 #include "storage/version_alloc.h"
+#include "trace/trace.h"
 
 namespace ermia {
 
@@ -18,11 +21,31 @@ VersionAllocMode ResolveVersionAllocMode(VersionAllocMode configured) {
   if (std::strcmp(env, "slab") == 0) return VersionAllocMode::kSlab;
   return configured;
 }
+
+// ERMIA_TRACE=off|sampled[:N]|all overrides trace_mode/trace_sample_every
+// (same pattern as the allocator override: CI and ad-hoc runs enable the
+// flight recorder without touching call sites).
+void ResolveTraceMode(EngineConfig* config) {
+  const char* env = std::getenv("ERMIA_TRACE");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "off") == 0) {
+    config->trace_mode = TraceMode::kOff;
+  } else if (std::strcmp(env, "all") == 0) {
+    config->trace_mode = TraceMode::kAll;
+  } else if (std::strncmp(env, "sampled", 7) == 0) {
+    config->trace_mode = TraceMode::kSampled;
+    if (env[7] == ':') {
+      const long n = std::atol(env + 8);
+      if (n > 0) config->trace_sample_every = static_cast<uint32_t>(n);
+    }
+  }
+}
 }  // namespace
 
 Database::Database(EngineConfig config)
     : config_(std::move(config)), log_(config_, &metrics_) {
   config_.version_allocator = ResolveVersionAllocMode(config_.version_allocator);
+  ResolveTraceMode(&config_);
   VersionAllocator::Instance().SetMode(config_.version_allocator);
   // Register the GC epoch manager so deferred version frees can reference it
   // by (slot, generation); detached in ~Database before members die.
@@ -30,6 +53,9 @@ Database::Database(EngineConfig config)
   gc_epoch_.set_metrics(&metrics_);
   rcu_epoch_.set_metrics(&metrics_);
   tid_epoch_.set_metrics(&metrics_);
+  gc_epoch_.set_trace_tag(0);
+  rcu_epoch_.set_trace_tag(1);
+  tid_epoch_.set_trace_tag(2);
   gc_ = std::make_unique<GarbageCollector>(
       &gc_epoch_,
       [this] { return tids_.OldestActiveBegin(log_.CurrentOffset()); },
@@ -51,6 +77,19 @@ Database::~Database() {
 
 Status Database::Open() {
   ERMIA_CHECK(!open_);
+  // Force the rdtsc→ns calibration now (it busy-waits ~2 ms): the trace
+  // dump path may later run inside a fatal-signal handler, where lazy
+  // initialization would not be async-signal-safe.
+  prof::CyclesPerNs();
+  if (config_.trace_mode != TraceMode::kOff) {
+    trace::Configure(config_.trace_mode, config_.trace_sample_every);
+    trace::ConfigureSlowTxnSink(config_.trace_slow_txn_us,
+                                config_.trace_slow_txn_path);
+    trace_owner_ = true;
+  }
+  if (!config_.trace_crash_dump_path.empty()) {
+    trace::InstallCrashHandler(config_.trace_crash_dump_path);
+  }
   ERMIA_RETURN_NOT_OK(log_.Open());
   occ_snapshot_.store(log_.CurrentOffset(), std::memory_order_release);
   if (config_.enable_gc) gc_->Start(config_.gc_interval_ms);
@@ -95,7 +134,28 @@ void Database::Close() {
   if (reporter_ != nullptr) reporter_->Stop();
   gc_->Stop();
   log_.Close();
+  if (trace_owner_) {
+    // ERMIA_TRACE_DUMP=<path>: dump on close, so benches and CI capture a
+    // trace without any code change (the nightly Perfetto artifact).
+    const char* dump = std::getenv("ERMIA_TRACE_DUMP");
+    if (dump != nullptr && dump[0] != '\0') {
+      Status s = trace::DumpToFile(dump);
+      if (!s.ok()) {
+        std::fprintf(stderr, "ermia: trace dump failed: %s\n",
+                     s.ToString().c_str());
+      }
+    }
+    // The recorder is process-global; the enabling Database switches it off
+    // so a later (untraced) Database in the same process starts clean.
+    trace::Configure(TraceMode::kOff, config_.trace_sample_every);
+    trace::ConfigureSlowTxnSink(0, std::string());
+    trace_owner_ = false;
+  }
   open_ = false;
+}
+
+Status Database::DumpTrace(const std::string& path) {
+  return trace::DumpToFile(path);
 }
 
 Table* Database::CreateTable(const std::string& name) {
@@ -211,6 +271,10 @@ metrics::MetricsSnapshot Database::SnapshotMetrics() const {
   set(metrics::Ctr::kVerAllocDeferredFrees, va.deferred_frees);
   set(metrics::Ctr::kVerAllocLimboRecycled, va.limbo_recycled);
   set(metrics::Ctr::kVerAllocLimboSize, va.limbo_size);
+  // Flight-recorder totals (process-global rings, trace/trace.h): recorded
+  // events and events lost to ring wrap.
+  set(metrics::Ctr::kTraceEventsRecorded, trace::TotalRecorded());
+  set(metrics::Ctr::kTraceEventsDropped, trace::TotalDropped());
   return snap;
 }
 

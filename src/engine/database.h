@@ -104,6 +104,12 @@ class Database {
   // transactions.
   Status Recover();
 
+  // ---- tracing ----
+  // On-demand flight-recorder dump (trace/trace.h binary format; decode
+  // with tools/ermia_trace). Callable any time — the rings are process-
+  // global and safe to snapshot while workers keep emitting.
+  Status DumpTrace(const std::string& path);
+
   // ---- introspection ----
   DatabaseStats GetStats() const;
 
@@ -186,6 +192,9 @@ class Database {
   std::atomic<uint64_t> occ_snapshot_{kLogStartOffset};
   std::atomic<uint64_t> checkpoints_taken_{0};
   bool open_ = false;
+  // True if this Database enabled the (process-global) flight recorder in
+  // Open(); only the owner resets the mode on Close().
+  bool trace_owner_ = false;
 };
 
 }  // namespace ermia

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.h"
+
 namespace ermia {
 
 EpochManager::EpochManager() = default;
@@ -68,7 +70,11 @@ Epoch EpochManager::ReclaimBoundary() const {
 
 Epoch EpochManager::Advance() {
   if (metrics_ != nullptr) metrics_->Inc(metrics::Ctr::kEpochAdvances);
-  return epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  const Epoch e = epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  if (ERMIA_UNLIKELY(trace::Active())) {
+    trace::Emit(trace::Event::kEpochAdvance, 0, trace_tag_, e);
+  }
+  return e;
 }
 
 void EpochManager::Defer(std::function<void()> cleanup) {

@@ -81,6 +81,10 @@ class EpochManager {
   // engine construction, before any daemon runs).
   void set_metrics(metrics::EngineMetrics* m) { metrics_ = m; }
 
+  // Identifies this manager's timescale in trace events (0=gc, 1=rcu,
+  // 2=tid); set once at engine construction, before any daemon runs.
+  void set_trace_tag(uint32_t tag) { trace_tag_ = tag; }
+
  private:
   struct alignas(kCacheLineSize) ThreadState {
     std::atomic<Epoch> entered{0};
@@ -95,6 +99,7 @@ class EpochManager {
   ThreadState threads_[kMaxThreads];
   std::atomic<Epoch> epoch_{2};  // start >= 2 so boundary never underflows
   metrics::EngineMetrics* metrics_ = nullptr;
+  uint32_t trace_tag_ = 0;
 
   SpinLatch deferred_latch_;
   std::vector<Deferred> deferred_;

@@ -6,6 +6,7 @@
 
 #include "common/fault_injection.h"
 #include "log/log_scan.h"
+#include "trace/trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -209,6 +210,9 @@ const LogSegment* LogManager::OpenSegmentAt(uint64_t start) {
   latest_segment_.store(raw, std::memory_order_release);
   rotations_.fetch_add(1, std::memory_order_relaxed);
   if (metrics_ != nullptr) metrics_->Inc(metrics::Ctr::kLogSegmentRotations);
+  if (ERMIA_UNLIKELY(trace::Active())) {
+    trace::Emit(trace::Event::kLogRotation, 0, start, 0);
+  }
   return raw;
 }
 
@@ -315,6 +319,10 @@ void LogManager::FlushOnce() {
   const uint64_t target = tracker_.complete_until();
   const uint64_t durable = durable_offset_.load(std::memory_order_acquire);
   if (target <= durable) return;
+  const bool traced = trace::Active();
+  if (ERMIA_UNLIKELY(traced)) {
+    trace::Emit(trace::Event::kLogFlushBegin, 0, target - durable, 0);
+  }
   const auto t0 = std::chrono::steady_clock::now();
   auto ranges = tracker_.TakeCompleted(target);
   if (!in_memory()) {
@@ -370,6 +378,9 @@ void LogManager::FlushOnce() {
     metrics_->Observe(metrics::Hist::kLogFlushBytes, batch);
     metrics_->Observe(metrics::Hist::kLogFlushLatencyUs,
                       static_cast<uint64_t>(us));
+  }
+  if (ERMIA_UNLIKELY(traced)) {
+    trace::Emit(trace::Event::kLogFlushEnd, 0, target - durable, 0);
   }
 }
 

@@ -139,6 +139,10 @@ const char* CtrName(Ctr c) {
       return "ver_alloc_limbo_recycled";
     case Ctr::kVerAllocLimboSize:
       return "ver_alloc_limbo_size";
+    case Ctr::kTraceEventsRecorded:
+      return "trace_events_recorded";
+    case Ctr::kTraceEventsDropped:
+      return "trace_events_dropped";
     case Ctr::kNumCounters:
       break;
   }
@@ -280,6 +284,10 @@ std::string MetricsSnapshot::ToJson() const {
   w.EndObject();
 
   w.Key("profile").BeginObject();
+  // Shared rdtsc→ns calibration (prof::CyclesPerNs): divide any *_cycles
+  // field by this to get nanoseconds. Exactly 1.0 on non-x86, where the
+  // cycle source is already CLOCK_MONOTONIC nanoseconds.
+  w.Field("cycles_per_ns", prof::CyclesPerNs());
   w.Field("transactions", profile.transactions);
   w.Field("total_cycles", profile.total_cycles);
   w.Field("index_cycles", profile.index_cycles);

@@ -118,6 +118,11 @@ enum class Ctr : uint32_t {
   kVerAllocDeferredFrees,
   kVerAllocLimboRecycled,
   kVerAllocLimboSize,
+  // Flight recorder (trace/trace.h): process-global totals — events written
+  // into the per-thread rings and events overwritten before any dump read
+  // them (ring wrap).
+  kTraceEventsRecorded,
+  kTraceEventsDropped,
   kNumCounters,
 };
 

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "trace/trace.h"
+
 namespace ermia {
 
 GarbageCollector::GarbageCollector(EpochManager* gc_epoch,
@@ -44,6 +46,10 @@ void GarbageCollector::NotifyUpdate(Table* table, Oid oid) {
 }
 
 size_t GarbageCollector::RunOnce() {
+  const bool traced = trace::Active();
+  if (ERMIA_UNLIKELY(traced)) {
+    trace::Emit(trace::Event::kGcPassBegin, 0, 0, 0);
+  }
   const uint64_t boundary = oldest_active_();
   std::deque<Item> batch;
   for (Shard& shard : shards_) {
@@ -108,6 +114,9 @@ size_t GarbageCollector::RunOnce() {
     if (reclaimed > 0) {
       metrics_->Inc(metrics::Ctr::kGcVersionsReclaimed, reclaimed);
     }
+  }
+  if (ERMIA_UNLIKELY(traced)) {
+    trace::Emit(trace::Event::kGcPassEnd, 0, reclaimed, 0);
   }
   return reclaimed;
 }

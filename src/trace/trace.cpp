@@ -1,0 +1,388 @@
+#include "trace/trace.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "common/profiling.h"
+#include "metrics/json.h"
+
+namespace ermia {
+namespace trace {
+
+namespace {
+
+Ring g_rings[kMaxThreads];
+
+std::atomic<uint32_t> g_sample_every{64};
+
+// Per-thread transaction sequence for the 1-in-N sampling decision. Each
+// worker samples independently, so every thread contributes slow-path
+// coverage regardless of how transactions are distributed.
+thread_local uint64_t t_txn_seq = 0;
+
+// Serializes dumps (two concurrent DumpToFd calls would interleave writes to
+// different descriptors harmlessly, but both would fight over the scratch
+// buffer below). Bounded spin so a signal handler that finds the lock held
+// by its own crashed thread cannot deadlock — it gives up instead.
+std::atomic_flag g_dump_lock = ATOMIC_FLAG_INIT;
+
+// Signal-safe scratch for one ring snapshot (static: no allocation, and a
+// 128 KiB stack frame would be unsafe on a sigaltstack).
+struct PlainRecord {
+  uint64_t tsc, a, b, meta;
+};
+PlainRecord g_scratch[kRingEvents];
+
+// write(2) loop handling EINTR and short writes; async-signal-safe.
+bool WriteAllFd(int fd, const void* buf, size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+char g_crash_path[512];
+struct sigaction g_prev_actions[32];
+
+void CrashHandler(int sig) {
+  // Best-effort post-mortem dump; every call here is async-signal-safe.
+  const int fd =
+      ::open(g_crash_path, O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd >= 0) {
+    DumpToFd(fd);
+    ::close(fd);
+  }
+  // Re-raise with the default disposition so the process still dies with
+  // the original signal (wait-status oracles in the crash harness rely on
+  // WTERMSIG surviving).
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+// Slow-transaction sink. threshold_tsc is the hot-path gate: one relaxed
+// load and a compare per traced commit.
+std::atomic<uint64_t> g_slow_threshold_tsc{0};
+std::mutex g_slow_mu;
+FILE* g_slow_file = nullptr;       // nullptr = stderr
+bool g_slow_file_owned = false;
+
+}  // namespace
+
+const char* EventName(Event e) {
+  switch (e) {
+    case Event::kNone:
+      return "none";
+    case Event::kTxnBegin:
+      return "txn_begin";
+    case Event::kTxnRead:
+      return "read";
+    case Event::kTxnUpdate:
+      return "update";
+    case Event::kTxnInsert:
+      return "insert";
+    case Event::kTxnDelete:
+      return "delete";
+    case Event::kTxnScan:
+      return "scan";
+    case Event::kCertifyBegin:
+      return "certify_begin";
+    case Event::kCertifyEnd:
+      return "certify_end";
+    case Event::kLogFlushWaitBegin:
+      return "log_flush_wait_begin";
+    case Event::kLogFlushWaitEnd:
+      return "log_flush_wait_end";
+    case Event::kTxnCommit:
+      return "commit";
+    case Event::kTxnAbort:
+      return "abort";
+    case Event::kEpochAdvance:
+      return "epoch_advance";
+    case Event::kGcPassBegin:
+      return "gc_pass_begin";
+    case Event::kGcPassEnd:
+      return "gc_pass_end";
+    case Event::kLogFlushBegin:
+      return "log_flush_begin";
+    case Event::kLogFlushEnd:
+      return "log_flush_end";
+    case Event::kLogRotation:
+      return "log_rotation";
+    case Event::kCkptBegin:
+      return "ckpt_begin";
+    case Event::kCkptCollected:
+      return "ckpt_collected";
+    case Event::kCkptDataSynced:
+      return "ckpt_data_synced";
+    case Event::kCkptEnd:
+      return "ckpt_end";
+    case Event::kNumEvents:
+      break;
+  }
+  return "unknown";
+}
+
+void Configure(TraceMode mode, uint32_t sample_every) {
+  if (sample_every == 0) sample_every = 1;
+  g_sample_every.store(sample_every, std::memory_order_relaxed);
+  g_mode.store(static_cast<uint32_t>(mode), std::memory_order_release);
+}
+
+TraceMode Mode() {
+  return static_cast<TraceMode>(g_mode.load(std::memory_order_relaxed));
+}
+
+bool SampleTxn() {
+  switch (Mode()) {
+    case TraceMode::kOff:
+      return false;
+    case TraceMode::kAll:
+      return true;
+    case TraceMode::kSampled:
+      return (t_txn_seq++ %
+              g_sample_every.load(std::memory_order_relaxed)) == 0;
+  }
+  return false;
+}
+
+void Emit(Event e, uint64_t txn, uint64_t a, uint64_t b) {
+  const uint32_t me = ThreadRegistry::MyId();
+  Ring& ring = g_rings[me];
+  const uint64_t h = ring.head.load(std::memory_order_relaxed);
+  Record& r = ring.records[h & (kRingEvents - 1)];
+  r.tsc.store(prof::Cycles(), std::memory_order_relaxed);
+  r.a.store(a, std::memory_order_relaxed);
+  r.b.store(b, std::memory_order_relaxed);
+  r.meta.store(PackMeta(txn & 0xffffffffull, e, me),
+               std::memory_order_relaxed);
+  // Publication point: a dumper that acquires head sees the stores above.
+  ring.head.store(h + 1, std::memory_order_release);
+}
+
+uint64_t TotalRecorded() {
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < kMaxThreads; ++i) {
+    sum += g_rings[i].head.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+uint64_t TotalDropped() {
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < kMaxThreads; ++i) {
+    const uint64_t h = g_rings[i].head.load(std::memory_order_relaxed);
+    if (h > kRingEvents) sum += h - kRingEvents;
+  }
+  return sum;
+}
+
+void ResetForTest() {
+  for (uint32_t i = 0; i < kMaxThreads; ++i) {
+    g_rings[i].head.store(0, std::memory_order_relaxed);
+    for (uint64_t s = 0; s < kRingEvents; ++s) {
+      Record& r = g_rings[i].records[s];
+      r.tsc.store(0, std::memory_order_relaxed);
+      r.a.store(0, std::memory_order_relaxed);
+      r.b.store(0, std::memory_order_relaxed);
+      r.meta.store(0, std::memory_order_relaxed);
+    }
+  }
+  t_txn_seq = 0;
+}
+
+bool DumpToFd(int fd) {
+  // Bounded acquisition: a crashed dumper must not wedge the handler.
+  for (int spin = 0; g_dump_lock.test_and_set(std::memory_order_acquire);
+       ++spin) {
+    if (spin > (1 << 22)) return false;
+  }
+  bool ok = true;
+
+  uint32_t nrings = 0;
+  for (uint32_t i = 0; i < kMaxThreads; ++i) {
+    if (g_rings[i].head.load(std::memory_order_relaxed) > 0) ++nrings;
+  }
+
+  const prof::Calibration& cal = prof::GetCalibration();
+  FileHeader fh{};
+  fh.magic = kDumpMagic;
+  fh.version = kDumpVersion;
+  fh.record_size = sizeof(Record);
+  fh.ring_events = kRingEvents;
+  fh.nrings = nrings;
+  fh.cycles_per_ns = cal.cycles_per_ns;
+  fh.anchor_tsc = cal.anchor_tsc;
+  fh.anchor_unix_ns = cal.anchor_unix_ns;
+  ok = ok && WriteAllFd(fd, &fh, sizeof fh);
+
+  for (uint32_t i = 0; ok && i < kMaxThreads; ++i) {
+    Ring& ring = g_rings[i];
+    const uint64_t h0 = ring.head.load(std::memory_order_acquire);
+    if (h0 == 0) continue;
+    uint64_t count = h0 < kRingEvents ? h0 : kRingEvents;
+    const uint64_t start = h0 - count;
+    for (uint64_t k = 0; k < count; ++k) {
+      const Record& r = ring.records[(start + k) & (kRingEvents - 1)];
+      g_scratch[k].tsc = r.tsc.load(std::memory_order_relaxed);
+      g_scratch[k].a = r.a.load(std::memory_order_relaxed);
+      g_scratch[k].b = r.b.load(std::memory_order_relaxed);
+      g_scratch[k].meta = r.meta.load(std::memory_order_relaxed);
+    }
+    // The ring's owner may have kept writing during the copy, overwriting
+    // the oldest slots we read (possibly mid-record). Trim every snapshot
+    // entry whose logical index the writer has since lapped.
+    const uint64_t h1 = ring.head.load(std::memory_order_acquire);
+    uint64_t first_valid = 0;
+    if (h1 > kRingEvents && h1 - kRingEvents > start) {
+      first_valid = h1 - kRingEvents - start;
+      if (first_valid > count) first_valid = count;
+    }
+    RingHeader rh{};
+    rh.thread = i;
+    rh.count = static_cast<uint32_t>(count - first_valid);
+    rh.head = h1;
+    rh.dropped = h1 - rh.count;
+    ok = ok && WriteAllFd(fd, &rh, sizeof rh);
+    ok = ok && (rh.count == 0 ||
+                WriteAllFd(fd, &g_scratch[first_valid],
+                           rh.count * sizeof(PlainRecord)));
+  }
+
+  g_dump_lock.clear(std::memory_order_release);
+  return ok;
+}
+
+Status DumpToFile(const std::string& path) {
+  const int fd =
+      ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::IOError("cannot create " + path);
+  const bool ok = DumpToFd(fd);
+  ::close(fd);
+  if (!ok) return Status::IOError("trace dump to " + path + " failed");
+  return Status::OK();
+}
+
+void InstallCrashHandler(const std::string& path) {
+  std::strncpy(g_crash_path, path.c_str(), sizeof g_crash_path - 1);
+  g_crash_path[sizeof g_crash_path - 1] = '\0';
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = CrashHandler;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESETHAND: the handler resets the disposition itself before
+  // re-raising, which also covers a second fatal signal inside the handler.
+  const int sigs[] = {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT};
+  for (int sig : sigs) {
+    ::sigaction(sig, &sa, &g_prev_actions[sig % 32]);
+  }
+}
+
+void ConfigureSlowTxnSink(uint64_t threshold_us, const std::string& path) {
+  std::lock_guard<std::mutex> g(g_slow_mu);
+  // Gate first: in-flight captures finish under the mutex below.
+  g_slow_threshold_tsc.store(
+      threshold_us == 0
+          ? 0
+          : static_cast<uint64_t>(static_cast<double>(threshold_us) * 1000.0 *
+                                  prof::CyclesPerNs()),
+      std::memory_order_relaxed);
+  if (g_slow_file_owned && g_slow_file != nullptr) std::fclose(g_slow_file);
+  g_slow_file = nullptr;
+  g_slow_file_owned = false;
+  if (threshold_us == 0) return;
+  if (!path.empty()) {
+    g_slow_file = std::fopen(path.c_str(), "a");
+    g_slow_file_owned = (g_slow_file != nullptr);
+  }
+}
+
+void MaybeCaptureSlowTxn(uint64_t txn, uint64_t begin_tsc, uint64_t end_tsc,
+                         const char* scheme) {
+  const uint64_t thr = g_slow_threshold_tsc.load(std::memory_order_relaxed);
+  if (thr == 0 || end_tsc - begin_tsc < thr) return;
+  const double cpn = prof::CyclesPerNs();
+  const uint32_t me = ThreadRegistry::MyId();
+  const uint32_t txn32 = static_cast<uint32_t>(txn & 0xffffffffull);
+
+  // The capture runs on the ring's own writer thread, so the records below
+  // head are stable — no concurrent overwrite is possible.
+  Ring& ring = g_rings[me];
+  const uint64_t h = ring.head.load(std::memory_order_relaxed);
+  const uint64_t count = h < kRingEvents ? h : kRingEvents;
+  const uint64_t start = h - count;
+
+  metrics::JsonWriter w;
+  w.BeginObject();
+  w.Field("txn", txn);
+  w.Field("thread", static_cast<uint64_t>(me));
+  w.Field("scheme", scheme);
+  w.Field("duration_us",
+          static_cast<double>(end_tsc - begin_tsc) / cpn / 1000.0);
+  // Span durations derived from the paired events (certification and the
+  // group-commit wait are the usual suspects for a slow commit).
+  double certify_us = 0.0;
+  double flush_wait_us = 0.0;
+  uint64_t span_start = 0;
+  w.Key("events").BeginArray();
+  for (uint64_t k = 0; k < count; ++k) {
+    const Record& r = ring.records[(start + k) & (kRingEvents - 1)];
+    const uint64_t meta = r.meta.load(std::memory_order_relaxed);
+    if (static_cast<uint32_t>(meta >> 32) != txn32) continue;
+    const Event e = static_cast<Event>((meta >> 16) & 0xffff);
+    const uint64_t tsc = r.tsc.load(std::memory_order_relaxed);
+    if (tsc < begin_tsc || tsc > end_tsc) continue;  // an older ring pass
+    switch (e) {
+      case Event::kCertifyBegin:
+      case Event::kLogFlushWaitBegin:
+        span_start = tsc;
+        break;
+      case Event::kCertifyEnd:
+        if (span_start != 0) certify_us += (tsc - span_start) / cpn / 1000.0;
+        span_start = 0;
+        break;
+      case Event::kLogFlushWaitEnd:
+        if (span_start != 0) {
+          flush_wait_us += (tsc - span_start) / cpn / 1000.0;
+        }
+        span_start = 0;
+        break;
+      default:
+        break;
+    }
+    w.BeginObject();
+    w.Field("name", EventName(e));
+    w.Field("t_us", static_cast<double>(tsc - begin_tsc) / cpn / 1000.0);
+    w.Field("a", r.a.load(std::memory_order_relaxed));
+    w.Field("b", r.b.load(std::memory_order_relaxed));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("spans").BeginObject();
+  w.Field("certify_us", certify_us);
+  w.Field("log_flush_wait_us", flush_wait_us);
+  w.EndObject();
+  w.EndObject();
+
+  std::lock_guard<std::mutex> g(g_slow_mu);
+  if (g_slow_threshold_tsc.load(std::memory_order_relaxed) == 0) return;
+  FILE* out = g_slow_file != nullptr ? g_slow_file : stderr;
+  std::fputs(w.str().c_str(), out);
+  std::fputc('\n', out);
+  std::fflush(out);
+}
+
+}  // namespace trace
+}  // namespace ermia

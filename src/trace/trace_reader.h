@@ -1,0 +1,55 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// Decoder for flight-recorder binary dumps (trace/trace.h dump format):
+// parses the file into a merged, timestamp-ordered event list and renders
+// Chrome trace-event JSON loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Library form so tests can round-trip without spawning
+// the tools/ermia_trace binary.
+#ifndef ERMIA_TRACE_TRACE_READER_H_
+#define ERMIA_TRACE_TRACE_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/trace.h"
+
+namespace ermia {
+namespace trace {
+
+struct DecodedEvent {
+  uint64_t tsc = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint32_t txn = 0;     // low 32 bits of the TID
+  uint32_t thread = 0;  // ThreadRegistry slot
+  Event event = Event::kNone;
+};
+
+struct TraceDump {
+  double cycles_per_ns = 1.0;
+  uint64_t anchor_tsc = 0;
+  uint64_t anchor_unix_ns = 0;
+  uint64_t total_recorded = 0;  // sum of per-ring heads
+  uint64_t total_dropped = 0;   // events lost to ring wrap before the dump
+  std::vector<uint32_t> threads;       // slots present, ascending
+  std::vector<DecodedEvent> events;    // merged across rings, sorted by tsc
+};
+
+// Parses a binary dump. Torn records (zero timestamp or out-of-range event
+// id, possible when a dump raced the writers) are silently discarded.
+Status ReadTraceDump(const std::string& path, TraceDump* out);
+
+// Renders Chrome trace-event JSON ("traceEvents" array format): one track
+// per thread, "X" complete-events for paired spans (transactions,
+// certification, log-flush waits, GC passes, flusher passes, checkpoints),
+// "i" instants for point events, abort reasons carried on flow annotations
+// (a "s"→"f" flow from txn begin to its abort, named by AbortReason), and
+// rdtsc→ns conversion from the dump header's calibration.
+std::string ToChromeTraceJson(const TraceDump& dump);
+
+}  // namespace trace
+}  // namespace ermia
+
+#endif  // ERMIA_TRACE_TRACE_READER_H_

@@ -4,6 +4,7 @@
 
 #include "common/profiling.h"
 #include "engine/database.h"
+#include "trace/trace.h"
 
 namespace ermia {
 
@@ -47,6 +48,12 @@ Transaction::Transaction(Database* db, CcScheme scheme, bool read_only)
                ? db_->occ_snapshot_offset()
                : db_->log().CurrentOffset();
   ctx_ = db_->tids().Begin(begin_, &tid_);
+  if (ERMIA_UNLIKELY(trace::SampleTxn())) {
+    traced_ = true;
+    trace_begin_tsc_ = prof::Cycles();
+    trace::Emit(trace::Event::kTxnBegin, tid_,
+                static_cast<uint64_t>(scheme_), read_only_ ? 1 : 0);
+  }
 }
 
 Transaction::~Transaction() {
@@ -67,7 +74,12 @@ Status Transaction::Read(Table* table, Oid oid, Slice* value) {
   } else {
     s = SiRead(table, oid, value);
   }
-  if (s.ok()) db_->metrics().Inc(metrics::Ctr::kTxnReads);
+  if (s.ok()) {
+    db_->metrics().Inc(metrics::Ctr::kTxnReads);
+    if (ERMIA_UNLIKELY(traced_)) {
+      trace::Emit(trace::Event::kTxnRead, tid_, table->fid(), oid);
+    }
+  }
   return s;
 }
 
@@ -82,7 +94,12 @@ Status Transaction::Update(Table* table, Oid oid, const Slice& value) {
   } else {
     s = SiUpdate(table, oid, value, false);
   }
-  if (s.ok()) db_->metrics().Inc(metrics::Ctr::kTxnUpdates);
+  if (s.ok()) {
+    db_->metrics().Inc(metrics::Ctr::kTxnUpdates);
+    if (ERMIA_UNLIKELY(traced_)) {
+      trace::Emit(trace::Event::kTxnUpdate, tid_, table->fid(), oid);
+    }
+  }
   return s;
 }
 
@@ -97,7 +114,12 @@ Status Transaction::Delete(Table* table, Oid oid) {
   } else {
     s = SiUpdate(table, oid, Slice(), true);
   }
-  if (s.ok()) db_->metrics().Inc(metrics::Ctr::kTxnDeletes);
+  if (s.ok()) {
+    db_->metrics().Inc(metrics::Ctr::kTxnDeletes);
+    if (ERMIA_UNLIKELY(traced_)) {
+      trace::Emit(trace::Event::kTxnDelete, tid_, table->fid(), oid);
+    }
+  }
   return s;
 }
 
@@ -179,6 +201,9 @@ probe:
   if (!is.ok()) return is;  // racing insert won the key: caller aborts
   if (oid != nullptr) *oid = new_oid;
   db_->metrics().Inc(metrics::Ctr::kTxnInserts);
+  if (ERMIA_UNLIKELY(traced_)) {
+    trace::Emit(trace::Event::kTxnInsert, tid_, table->fid(), new_oid);
+  }
   return Status::OK();
 }
 
@@ -276,6 +301,10 @@ Status Transaction::ScanOids(
       index->tree().Scan(lo, hi, wrap, nodes);
     }
   }
+  if (ERMIA_UNLIKELY(traced_) && inner.ok()) {
+    trace::Emit(trace::Event::kTxnScan, tid_, index->fid(),
+                static_cast<uint64_t>(delivered));
+  }
   return inner;
 }
 
@@ -306,6 +335,10 @@ Status Transaction::Scan(
     } else {
       index->tree().Scan(lo, hi, wrap, nodes);
     }
+  }
+  if (ERMIA_UNLIKELY(traced_) && inner.ok()) {
+    trace::Emit(trace::Event::kTxnScan, tid_, index->fid(),
+                static_cast<uint64_t>(delivered));
   }
   return inner;
 }
@@ -417,8 +450,30 @@ void Transaction::PostCommit(Lsn clsn) {
   }
 }
 
+void Transaction::WaitCommitDurable(uint64_t target_offset) {
+  if (ERMIA_UNLIKELY(traced_)) {
+    trace::Emit(trace::Event::kLogFlushWaitBegin, tid_, target_offset, 0);
+  }
+  db_->log().WaitForDurable(target_offset);
+  if (ERMIA_UNLIKELY(traced_)) {
+    trace::Emit(trace::Event::kLogFlushWaitEnd, tid_, target_offset, 0);
+  }
+}
+
 void Transaction::Finish(bool committed) {
   ERMIA_DCHECK(!finished_);
+  if (ERMIA_UNLIKELY(traced_)) {
+    if (committed) {
+      trace::Emit(trace::Event::kTxnCommit, tid_, 0, 0);
+      // Capture after the commit event so the JSON breakdown includes it;
+      // the threshold check inside is one relaxed load.
+      trace::MaybeCaptureSlowTxn(tid_, trace_begin_tsc_, prof::Cycles(),
+                                 CcSchemeName(scheme_));
+    } else {
+      trace::Emit(trace::Event::kTxnAbort, tid_,
+                  static_cast<uint64_t>(abort_reason_), 0);
+    }
+  }
   if (committed) {
     db_->metrics().Inc(metrics::Ctr::kTxnCommits);
   } else {

@@ -112,6 +112,8 @@ class Transaction {
   uint64_t tid() const { return tid_; }
   uint64_t begin_offset() const { return begin_; }
   bool read_only() const { return read_only_; }
+  // Whether the flight recorder sampled this transaction (trace/trace.h).
+  bool traced() const { return traced_; }
   CcScheme scheme() const { return scheme_; }
   bool finished() const { return finished_; }
   // Why this transaction aborted (meaningful once finished unsuccessfully).
@@ -147,6 +149,9 @@ class Transaction {
   void InstallCommitBlock(Lsn lsn);
   void PostCommit(Lsn clsn);
   void Finish(bool committed);
+  // Synchronous-commit group-commit wait, bracketed with the trace's
+  // kLogFlushWaitBegin/End span when this transaction is traced.
+  void WaitCommitDurable(uint64_t target_offset);
   void RegisterNode(const NodeHandle& handle);
   bool NeedsNodeSet() const {
     return scheme_ != CcScheme::kSi && !read_only_;
@@ -216,6 +221,11 @@ class Transaction {
   uint64_t begin_ = 0;  // begin timestamp (log offset)
   metrics::AbortReason abort_reason_ = metrics::AbortReason::kExplicit;
   bool abort_marked_ = false;
+  // Flight recorder: sampling decision made once at begin; every per-op
+  // emit hides behind this bool, so untraced transactions pay one
+  // predictable branch per operation.
+  bool traced_ = false;
+  uint64_t trace_begin_tsc_ = 0;
   // SSN reader-registry slot (kNoSlot until the first tracked read).
   uint32_t ssn_reader_slot_ = UINT32_MAX;
 

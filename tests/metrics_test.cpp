@@ -94,6 +94,57 @@ TEST(EngineMetricsTest, HistogramBucketsAndPercentiles) {
   EXPECT_LE(h.Percentile(99), 1024.0);
 }
 
+TEST(EngineMetricsTest, HistogramEdgeSemantics) {
+  using EM = metrics::EngineMetrics;
+  // Zero has its own bucket whose range is [0, 1).
+  EXPECT_EQ(EM::BucketFor(0), 0u);
+  EXPECT_EQ(EM::BucketLow(0), 0u);
+  EXPECT_EQ(EM::BucketLow(1), 1u);
+  // Exact powers of two open a new bucket — BucketFor(2^b) == b+1 — and that
+  // bucket's lower bound is the value itself, so boundaries never misbucket.
+  for (size_t b = 0; b < 62; ++b) {
+    const uint64_t v = 1ull << b;
+    EXPECT_EQ(EM::BucketFor(v), b + 1) << "value " << v;
+    EXPECT_EQ(EM::BucketLow(b + 1), v);
+    if (v > 1) EXPECT_EQ(EM::BucketFor(v - 1), b) << "value " << (v - 1);
+  }
+  // Everything too large for a dedicated bucket lands in the overflow bucket.
+  EXPECT_EQ(EM::BucketFor(1ull << 63), metrics::kHistBuckets - 1);
+  EXPECT_EQ(EM::BucketFor(~0ull), metrics::kHistBuckets - 1);
+
+  metrics::EngineMetrics m;
+  m.Observe(metrics::Hist::kGcChainLength, 0);
+  m.Observe(metrics::Hist::kGcChainLength, ~0ull);
+  metrics::MetricsSnapshot snap = m.Snapshot();
+  const auto& h = snap.hist(metrics::Hist::kGcChainLength);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[metrics::kHistBuckets - 1], 1u);
+  EXPECT_EQ(h.count, 2u);
+  // The overflow bucket has no finite upper bound.
+  EXPECT_EQ(h.MaxBucketHigh(), ~0ull);
+}
+
+TEST(EngineMetricsTest, PercentileInterpolatesInsideBucket) {
+  metrics::EngineMetrics m;
+  for (int i = 0; i < 100; ++i) {
+    m.Observe(metrics::Hist::kGcChainLength, 4);
+  }
+  metrics::MetricsSnapshot snap = m.Snapshot();
+  const auto& h = snap.hist(metrics::Hist::kGcChainLength);
+  // All mass sits in the [4, 8) bucket: every percentile interpolates inside
+  // it and never escapes the bucket's bounds.
+  EXPECT_GE(h.Percentile(1), 4.0);
+  EXPECT_GE(h.Percentile(50), 4.0);
+  EXPECT_LE(h.Percentile(50), 8.0);
+  EXPECT_LE(h.Percentile(100), 8.0);
+  EXPECT_LT(h.Percentile(1), h.Percentile(99));
+  EXPECT_EQ(h.MaxBucketHigh(), 8u);
+  // Empty histogram: percentiles degrade to zero rather than reading junk.
+  metrics::HistSnapshot empty;
+  EXPECT_EQ(empty.Percentile(50), 0.0);
+  EXPECT_EQ(empty.MaxBucketHigh(), 0u);
+}
+
 class MetricsDbTest : public ::testing::Test {
  protected:
   void SetUp() override { Init(EngineConfig{}); }
@@ -330,6 +381,39 @@ TEST_F(MetricsDbTest, ReporterWritesJsonLines) {
     }
   }
   EXPECT_GE(lines, 1u);
+  EXPECT_TRUE(saw_commits);
+}
+
+TEST_F(MetricsDbTest, ReporterEmitsFinalSnapshotOnShutdown) {
+  // An interval far longer than the test: the periodic timer never fires, so
+  // the only line in the file is the final delta emitted on Stop(). Runs
+  // shorter than one interval must still account for their activity.
+  const std::string path = testing::MakeTempDir() + "/final.jsonl";
+  {
+    EngineConfig config;
+    config.metrics_report_interval_ms = 60 * 60 * 1000;
+    config.metrics_report_path = path;
+    Init(config);
+    const Oid x = OidOf("x");
+    Transaction t(db_->get(), CcScheme::kSi);
+    ASSERT_TRUE(t.Update(table_, x, "v").ok());
+    ASSERT_TRUE(t.Commit().ok());
+    db_.reset();  // Close() stops the reporter → final delta
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  size_t lines = 0;
+  bool saw_commits = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    if (line.find("\"txn_commits\":") != std::string::npos &&
+        line.find("\"txn_commits\":0") == std::string::npos) {
+      saw_commits = true;
+    }
+  }
+  EXPECT_EQ(lines, 1u);
   EXPECT_TRUE(saw_commits);
 }
 

@@ -1,0 +1,69 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// ermia_trace: decode a flight-recorder binary dump (Database::DumpTrace,
+// the fatal-signal handler, or ERMIA_TRACE_DUMP) into Chrome trace-event
+// JSON. Load the output at ui.perfetto.dev or chrome://tracing.
+//
+//   ermia_trace <dump.bin> [-o out.json]     (default: stdout)
+//   ermia_trace --summary <dump.bin>         (counts only, no JSON)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "trace/trace_reader.h"
+
+int main(int argc, char** argv) {
+  std::string in_path;
+  std::string out_path;
+  bool summary = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--summary") == 0) {
+      summary = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s [--summary] <dump.bin> [-o out.json]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      in_path = argv[i];
+    }
+  }
+  if (in_path.empty()) {
+    std::fprintf(stderr, "usage: %s [--summary] <dump.bin> [-o out.json]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  ermia::trace::TraceDump dump;
+  ermia::Status s = ermia::trace::ReadTraceDump(in_path, &dump);
+  if (!s.ok()) {
+    std::fprintf(stderr, "ermia_trace: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "ermia_trace: %zu events across %zu threads "
+               "(%llu recorded, %llu dropped to ring wrap), "
+               "%.3f cycles/ns\n",
+               dump.events.size(), dump.threads.size(),
+               static_cast<unsigned long long>(dump.total_recorded),
+               static_cast<unsigned long long>(dump.total_dropped),
+               dump.cycles_per_ns);
+  if (summary) return 0;
+
+  const std::string json = ermia::trace::ToChromeTraceJson(dump);
+  FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "ermia_trace: cannot write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+  }
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fputc('\n', out);
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
