@@ -9,15 +9,30 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 cmake -B "$BUILD_DIR" -S . -DERMIA_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j --target \
   cc_ssn_test cc_ssn_parallel_test txn_semantics_test concurrency_test \
-  metrics_test trace_test version_alloc_test crash_recovery_harness
+  metrics_test trace_test version_alloc_test ssn_readopt_test \
+  serializability_stress_test crash_recovery_harness
 
 # tsan.supp waives only the optimistic-lock-coupling reads in the B+-tree
 # (benign by protocol: validated against the node version word and retried).
 export TSAN_OPTIONS=${TSAN_OPTIONS:-"halt_on_error=1 suppressions=$PWD/tsan.supp"}
 for t in cc_ssn_test cc_ssn_parallel_test txn_semantics_test concurrency_test \
-         metrics_test trace_test version_alloc_test; do
+         metrics_test trace_test version_alloc_test ssn_readopt_test \
+         serializability_stress_test; do
   echo "=== $t (tsan) ==="
   "$BUILD_DIR/tests/$t"
+done
+
+# Safe-snapshot / read-opt pass: ERMIA_SSN_READOPT=on flips both read-mostly
+# optimizations (docs/INTERNALS.md "Read-mostly optimizations"), so TSan sees
+# the snapshot daemon's candidate/drain/publish protocol, the sharded poison
+# table, the zero-tracking read-only path, and the compensation scan over the
+# per-thread committer index racing real SSN commit traffic. The stress test
+# also runs its own differential off/on mix internally; the env override here
+# additionally turns the optimizations on for every other scheme's runs and
+# for the parallel-commit suite.
+for t in cc_ssn_parallel_test serializability_stress_test ssn_readopt_test; do
+  echo "=== $t (tsan, ERMIA_SSN_READOPT=on) ==="
+  ERMIA_SSN_READOPT=on "$BUILD_DIR/tests/$t"
 done
 
 # The concurrency suite again with the slab allocator forced on, so TSan

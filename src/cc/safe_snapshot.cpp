@@ -1,0 +1,107 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+#include "cc/safe_snapshot.h"
+
+#include <algorithm>
+
+namespace ermia {
+
+void SafeSnapshotManager::RecordBackwardEdge(uint64_t sstamp_off,
+                                             uint64_t cstamp_off) {
+  Shard& shard = shards_[ThreadRegistry::MyId() % kMaxThreads];
+  SpinLatchGuard g(shard.latch);
+  // Entries whose cstamp offset is at or below the published safe point can
+  // never cover a future candidate (candidates are taken from the advancing
+  // log tail), so reuse their slots first.
+  const uint64_t floor = published_.load(std::memory_order_relaxed);
+  uint32_t w = 0;
+  for (uint32_t i = 0; i < shard.count; ++i) {
+    if (shard.entries[i].cstamp_off > floor) shard.entries[w++] = shard.entries[i];
+  }
+  shard.count = w;
+  if (cstamp_off > floor) {
+    if (shard.count < Shard::kCapacity) {
+      shard.entries[shard.count++] = {sstamp_off, cstamp_off};
+    } else {
+      // Overflow: fold into one conservative interval. Burns more candidates
+      // than necessary, never admits an unsafe one.
+      shard.fold_low = std::min(shard.fold_low, sstamp_off);
+      shard.fold_high = std::max(shard.fold_high, cstamp_off);
+    }
+  }
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool SafeSnapshotManager::Poisoned(uint64_t c, uint64_t prune_below) {
+  bool poisoned = false;
+  const uint32_t hwm = std::min(ThreadRegistry::HighWaterMark(), kMaxThreads);
+  for (uint32_t t = 0; t < hwm; ++t) {
+    Shard& shard = shards_[t];
+    SpinLatchGuard g(shard.latch);
+    uint32_t w = 0;
+    for (uint32_t i = 0; i < shard.count; ++i) {
+      const Interval& iv = shard.entries[i];
+      if (iv.cstamp_off <= prune_below) continue;  // dead for all future c
+      if (iv.sstamp_off < c && c <= iv.cstamp_off) poisoned = true;
+      shard.entries[w++] = iv;
+    }
+    shard.count = w;
+    if (shard.fold_low <= shard.fold_high) {
+      if (shard.fold_high <= prune_below) {
+        shard.fold_low = UINT64_MAX;
+        shard.fold_high = 0;
+      } else if (shard.fold_low < c && c <= shard.fold_high) {
+        poisoned = true;
+      }
+    }
+  }
+  return poisoned;
+}
+
+void SafeSnapshotManager::Tick(EpochManager& gc_epoch, uint64_t log_tail) {
+  SpinLatchGuard g(tick_latch_);
+  if (!pending_) {
+    const uint64_t c = log_tail;
+    if (c <= published_.load(std::memory_order_relaxed)) return;
+    candidate_ = c;
+    mark_ = gc_epoch.current();
+    // Transactions entering after this advance observed it (Enter's seq_cst
+    // recheck), which happens-after the caller's tail load, so their begin
+    // offsets are >= candidate_. Everyone older holds ReclaimBoundary below
+    // mark_ until they exit.
+    gc_epoch.Advance();
+    pending_ = true;
+    rounds_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (pending_) {
+    if (gc_epoch.ReclaimBoundary() < mark_) return;  // straggler still live
+    // Every transaction in flight at candidate time has exited; its commit
+    // (and any backward-edge record) is visible. Advance the GC horizon to
+    // the previous published value first so it always lags one full tick.
+    const uint64_t prev = published_.load(std::memory_order_relaxed);
+    if (Poisoned(candidate_, prev)) {
+      burnt_.fetch_add(1, std::memory_order_relaxed);
+    } else if (candidate_ > prev) {
+      gc_horizon_.store(prev, std::memory_order_release);
+      published_.store(candidate_, std::memory_order_release);
+    }
+    pending_ = false;
+  }
+}
+
+void SafeSnapshotManager::Reset(uint64_t offset) {
+  SpinLatchGuard g(tick_latch_);
+  pending_ = false;
+  published_.store(offset, std::memory_order_release);
+  gc_horizon_.store(offset, std::memory_order_release);
+}
+
+SafeSnapshotManager::Stats SafeSnapshotManager::GetStats() const {
+  Stats s;
+  s.published = published_.load(std::memory_order_acquire);
+  s.rounds = rounds_.load(std::memory_order_relaxed);
+  s.burnt = burnt_.load(std::memory_order_relaxed);
+  s.recorded = recorded_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace ermia

@@ -53,11 +53,21 @@ Status Transaction::SiRead(Table* table, Oid oid, Slice* value) {
   Version* v = SiVisibleVersion(table, oid);
   if (v == nullptr) return Status::NotFound();
   if (ERMIA_UNLIKELY(v->stub)) v = MaterializeStub(table, oid, v);
-  const bool own = IsTidStamp(v->clsn.load(std::memory_order_acquire)) &&
-                   TidFromStamp(v->clsn.load(std::memory_order_acquire)) == tid_;
-  if (scheme_ == CcScheme::kSiSsn && !own) {
-    read_set_.push_back({v, table->array().Slot(oid)});
-    SsnOnRead(v);
+  const uint64_t clsn = v->clsn.load(std::memory_order_acquire);
+  const bool own = IsTidStamp(clsn) && TidFromStamp(clsn) == tid_;
+  if (scheme_ == CcScheme::kSiSsn && !own && !ssn_safesnap_) {
+    // Read-opt exemption (cc/safe_snapshot.h): versions committed below the
+    // safe LSN have final stamps below them and their overwriters resolve at
+    // our commit — no reader-bitmap advertisement needed. Safe-snapshot
+    // transactions skip even that (zero tracking; they serialize at the
+    // snapshot point).
+    if (db_->config().ssn_read_opt && !IsTidStamp(clsn) &&
+        Lsn(clsn).offset() < db_->safe_snapshot_offset()) {
+      SsnOnReadExempt(v);
+    } else {
+      read_set_.push_back({v, table->array().Slot(oid)});
+      SsnOnRead(v);
+    }
     if (SsnExclusionViolated()) {
       // Doomed: give the caller the early-out the paper argues for.
       MarkAbort(metrics::AbortReason::kSsnExclusionRead);

@@ -94,6 +94,7 @@ void Transaction::SsnResetOverwriteMarks() {
 void Transaction::SsnOnRead(Version* v) {
   SsnEnsureReaderSlot();
   v->readers.fetch_or(1ull << ssn_reader_slot_, std::memory_order_seq_cst);
+  db_->metrics().Inc(metrics::Ctr::kSsnBitmapAdvertises);
   const uint64_t s = v->clsn.load(std::memory_order_acquire);
   if (!IsTidStamp(s)) {
     AtomicMax(ctx_->pstamp, s);
@@ -128,6 +129,29 @@ void Transaction::SsnOnRead(Version* v) {
   }
 }
 
+// Read-opt exemption (cc/safe_snapshot.h): v committed below the safe LSN.
+// Every transaction that began below that offset has finished, so v's
+// overwriter — if any — either committed already (its sstamp is final and
+// immutable) or will claim a commit stamp through the same log-offset RMW
+// chain our commit-time resolution synchronizes with. Either way the reader
+// bitmap is not needed to make the rw edge visible:
+//   - overwriter already final: fold its sstamp here and drop the version
+//     entirely (no one will ever consult v.pstamp again — only v's single
+//     overwriter reads it, and that overwriter's η is final);
+//   - overwriter absent or in flight: defer to read_opt_set_; commit re-runs
+//     the sstamp resolution and publishes our pstamp, and overwriters of
+//     old versions compensate with a committer scan (SsnFinalizePstamp).
+void Transaction::SsnOnReadExempt(Version* v) {
+  db_->metrics().Inc(metrics::Ctr::kSsnReadOptReads);
+  AtomicMax(ctx_->pstamp, v->clsn.load(std::memory_order_acquire));
+  const uint64_t vs = v->sstamp.load(std::memory_order_seq_cst);
+  if (vs != kInfinityStamp && !IsTidStamp(vs)) {
+    AtomicMin(ctx_->sstamp, vs);
+    return;  // fully resolved: zero tracking
+  }
+  read_opt_set_.push_back(v);
+}
+
 // Overwrite of committed version prev: prev's creator and prev's committed
 // readers are predecessors of T. (The TID advertisement in prev's commit
 // word is installed by SiUpdate right after the head CAS succeeds.)
@@ -150,8 +174,10 @@ Status Transaction::SsnOnUpdate(Version* prev) {
 uint64_t Transaction::SsnFinalizeSstamp(uint64_t cstamp) {
   uint64_t sstamp =
       std::min(ctx_->sstamp.load(std::memory_order_relaxed), cstamp);
-  for (const auto& r : read_set_) {
-    Version* v = r.version;
+  // Tracked reads and read-opt-exempt reads resolve identically; exempt
+  // reads simply never advertised a bitmap bit (their overwriters, if any,
+  // are found right here — or compensate for us, see SsnFinalizePstamp).
+  const auto resolve = [&](Version* v) {
     Backoff backoff;
     for (;;) {
       const uint64_t vs = v->sstamp.load(std::memory_order_seq_cst);
@@ -187,7 +213,9 @@ uint64_t Transaction::SsnFinalizeSstamp(uint64_t cstamp) {
       }
       break;
     }
-  }
+  };
+  for (const auto& r : read_set_) resolve(r.version);
+  for (Version* v : read_opt_set_) resolve(v);
   return sstamp;
 }
 
@@ -197,6 +225,27 @@ uint64_t Transaction::SsnFinalizeSstamp(uint64_t cstamp) {
 // reader registry, and waited out when ordered before us.
 uint64_t Transaction::SsnFinalizePstamp(uint64_t cstamp) {
   uint64_t pstamp = ctx_->pstamp.load(std::memory_order_relaxed);
+  // Read-opt compensation: exempt readers of old versions advertise no
+  // bitmap bit, so before resolving per-version readers we wait out every
+  // committer ordered before us, then pick their published pstamps up from
+  // the versions below. The safe-LSN load here (after our commit-order RMW)
+  // is >= any exempt reader's load before its RMW — so if a reader ordered
+  // before us exempted one of our overwritten versions, our predicate sees
+  // that version as old too and the scan covers it. Readers ordered after
+  // us resolve the edge themselves in SsnFinalizeSstamp. Rare path: only
+  // taken when overwriting a version that predates the safe LSN.
+  if (db_->config().ssn_read_opt && !write_set_.empty()) {
+    const uint64_t safe = db_->safe_snapshot_offset();
+    for (const auto& w : write_set_) {
+      if (w.prev == nullptr) continue;
+      const uint64_t s = w.prev->clsn.load(std::memory_order_acquire);
+      if (!IsTidStamp(s) && Lsn(s).offset() < safe) {
+        db_->metrics().Inc(metrics::Ctr::kSsnReadOptWriterWaits);
+        db_->tids().WaitCommittersBelow(cstamp);
+        break;
+      }
+    }
+  }
   for (const auto& w : write_set_) {
     Version* prev = w.prev;
     if (prev == nullptr) continue;
@@ -244,6 +293,11 @@ void Transaction::SsnPublishStamps(uint64_t cstamp, uint64_t pstamp,
   for (const auto& r : read_set_) {
     AtomicMax(r.version->pstamp, cstamp);
   }
+  // Exempt reads: "only the pstamp update survives" — no bitmap bit to
+  // clear, but overwriters ordered after us must still see we read these.
+  for (Version* v : read_opt_set_) {
+    AtomicMax(v->pstamp, cstamp);
+  }
   for (const auto& w : write_set_) {
     if (w.prev != nullptr) {
       w.prev->sstamp.store(sstamp, std::memory_order_seq_cst);
@@ -266,7 +320,10 @@ Status Transaction::SsnCommit() {
 
   // Advertise intent before claiming the stamp: a peer that observes
   // kCommitting with the pending sentinel re-inquires for the real stamp
-  // instead of inferring an order that does not exist yet.
+  // instead of inferring an order that does not exist yet. The per-thread
+  // committer announcement must also precede the stamp claim so the read-opt
+  // compensation scan of any later-stamped peer finds us.
+  db_->tids().BeginCommitting(ctx_);
   ctx_->cstamp.store(kCstampPending, std::memory_order_release);
   ctx_->StoreState(TxnState::kCommitting);
 
@@ -284,11 +341,22 @@ Status Transaction::SsnCommit() {
     // protocol needs (see SeqCstTailBound in log_manager.h); the previous
     // fetch_add(0) RMW bounced the shared offset line off every concurrent
     // writer for no additional guarantee.
-    cstamp = Lsn::Make(db_->log().SeqCstTailBound(), 0).value() - 1;
+    //
+    // Exception: with read-opt-exempt reads we advertised no bitmap bits, so
+    // an overwriter ordered after us discovers us only through its committer
+    // scan (SsnFinalizePstamp) — and that scan is guaranteed to see our
+    // kCommitting/pending stores only if our stamp claim participates in the
+    // log offset's RMW modification order. Claim through the fetch_add in
+    // that case; the RMW costs once what the skipped per-read bitmap RMWs
+    // saved many times over.
+    cstamp = read_opt_set_.empty()
+                 ? Lsn::Make(db_->log().SeqCstTailBound(), 0).value() - 1
+                 : Lsn::Make(db_->log().OrderedTail(), 0).value() - 1;
   }
   ctx_->cstamp.store(cstamp, std::memory_order_release);
 
   bool pass;
+  uint64_t final_sstamp = cstamp;
   if (ERMIA_UNLIKELY(traced_)) {
     trace::Emit(trace::Event::kCertifyBegin, tid_, 0, 0);
   }
@@ -301,6 +369,7 @@ Status Transaction::SsnCommit() {
       const uint64_t pstamp = SsnFinalizePstamp(cstamp);
       pass = sstamp > pstamp;  // exclusion window: π(T) <= η(T) forbidden
       if (pass) SsnPublishStamps(cstamp, pstamp, sstamp);
+      final_sstamp = sstamp;
     } else {
       // Legacy serial finalization: test + publication under one global
       // latch, correct by arrival order (the later arriver sees the earlier
@@ -323,12 +392,30 @@ Status Transaction::SsnCommit() {
           sstamp = std::min(sstamp, vs);
         }
       }
+      // Read-opt-exempt reads carry no bitmap bit; under the latch the
+      // arrival order serializes us against their overwriters the same way.
+      for (Version* v : read_opt_set_) {
+        const uint64_t vs = v->sstamp.load(std::memory_order_acquire);
+        if (vs != kInfinityStamp && !IsTidStamp(vs)) {
+          sstamp = std::min(sstamp, vs);
+        }
+      }
       pass = sstamp > pstamp;
       if (pass) SsnPublishStamps(cstamp, pstamp, sstamp);
+      final_sstamp = sstamp;
     }
   }
   if (ERMIA_UNLIKELY(traced_)) {
     trace::Emit(trace::Event::kCertifyEnd, tid_, pass ? 1 : 0, 0);
+  }
+  if (pass) {
+    // Safe-snapshot maintenance: a commit whose final π lands below its
+    // cstamp is a committed backward rw-dependency — no safe point may land
+    // inside (π, cstamp] (cc/safe_snapshot.h). Recorded before Finish exits
+    // the gc epoch, which is what the snapshot daemon's drain waits on.
+    const uint64_t s_off = Lsn(final_sstamp).offset();
+    const uint64_t c_off = Lsn(cstamp).offset();
+    if (s_off < c_off) db_->safesnap().RecordBackwardEdge(s_off, c_off);
   }
 
   if (!pass) {
@@ -338,10 +425,12 @@ Status Transaction::SsnCommit() {
       // Reuse the abort path for unlinking; the reservation is now a skip.
     }
     Abort();
+    db_->tids().EndCommitting();
     return Status::Aborted("ssn exclusion window (commit)");
   }
   if (has_writes) InstallCommitBlock(clsn);
   ctx_->StoreState(TxnState::kCommitted);
+  db_->tids().EndCommitting();
   if (has_writes) {
     PostCommit(clsn);
     if (db_->config().synchronous_commit) {

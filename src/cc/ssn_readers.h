@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 
 #include "common/macros.h"
 #include "common/spin_latch.h"
@@ -29,14 +30,22 @@ class SsnReaderRegistry {
   SsnReaderRegistry() = default;
   ERMIA_NO_COPY(SsnReaderRegistry);
 
-  // Claims a slot for `tid`, spinning only if all kSlots host transactions
-  // with tracked reads.
+  // Claims a slot for `tid`, waiting only if all kSlots host transactions
+  // with tracked reads. Saturation backs off exponentially (capped) instead
+  // of hammering the shared free word, and every wait episode is counted in
+  // slot_waits() so a fleet larger than kSlots shows up in the metrics
+  // snapshot (ssn_reader_slot_waits) rather than as silent slowdown.
   uint32_t Acquire(uint64_t tid) {
-    Backoff backoff;
+    uint32_t waits = 0;
     for (;;) {
       uint64_t free = free_.load(std::memory_order_acquire);
       if (free == 0) {
-        backoff.Pause();
+        if (waits == 0) slot_waits_.fetch_add(1, std::memory_order_relaxed);
+        // Bounded exponential backoff: 2^min(waits,10) pauses (max ~1K, ~µs),
+        // then yield the core to whichever holder needs to finish.
+        const uint32_t spins = 1u << (waits < 10 ? waits : 10);
+        for (uint32_t i = 0; i < spins; ++i) ERMIA_CPU_RELAX();
+        if (++waits > 10) std::this_thread::yield();
         continue;
       }
       const uint32_t slot = static_cast<uint32_t>(__builtin_ctzll(free));
@@ -64,12 +73,19 @@ class SsnReaderRegistry {
     return slots_[slot].tid.load(std::memory_order_acquire);
   }
 
+  // Number of Acquire() calls that found the registry saturated and had to
+  // wait (exported as the ssn_reader_slot_waits gauge).
+  uint64_t slot_waits() const {
+    return slot_waits_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct alignas(kCacheLineSize) Entry {
     std::atomic<uint64_t> tid{0};
   };
 
   std::atomic<uint64_t> free_{~0ull};
+  alignas(kCacheLineSize) std::atomic<uint64_t> slot_waits_{0};
   Entry slots_[kSlots];
 };
 

@@ -29,6 +29,17 @@
   Class(const Class&) = delete;     \
   Class& operator=(const Class&) = delete
 
+// One polite spin-wait iteration: tells the core a peer owns the line we are
+// watching (SMT yield / power hint), without giving up the timeslice the way
+// std::this_thread::yield() does.
+#if defined(__x86_64__) || defined(__i386__)
+#define ERMIA_CPU_RELAX() __builtin_ia32_pause()
+#elif defined(__aarch64__)
+#define ERMIA_CPU_RELAX() asm volatile("yield" ::: "memory")
+#else
+#define ERMIA_CPU_RELAX() asm volatile("" ::: "memory")
+#endif
+
 namespace ermia {
 
 // Sized to the ubiquitous 64-byte line; used to pad hot shared counters so

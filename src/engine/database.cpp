@@ -40,12 +40,33 @@ void ResolveTraceMode(EngineConfig* config) {
     }
   }
 }
+
+// ERMIA_SSN_READOPT=off|on|both|safesnap|readopt overrides the SSN
+// read-mostly flags (cc/safe_snapshot.h) — same pattern as the allocator and
+// trace overrides, so stress scripts and CI flip the features per run.
+void ResolveSsnReadOpt(EngineConfig* config) {
+  const char* env = std::getenv("ERMIA_SSN_READOPT");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0) {
+    config->ssn_safe_snapshot = false;
+    config->ssn_read_opt = false;
+  } else if (std::strcmp(env, "on") == 0 || std::strcmp(env, "1") == 0 ||
+             std::strcmp(env, "both") == 0) {
+    config->ssn_safe_snapshot = true;
+    config->ssn_read_opt = true;
+  } else if (std::strcmp(env, "safesnap") == 0) {
+    config->ssn_safe_snapshot = true;
+  } else if (std::strcmp(env, "readopt") == 0) {
+    config->ssn_read_opt = true;
+  }
+}
 }  // namespace
 
 Database::Database(EngineConfig config)
     : config_(std::move(config)), log_(config_, &metrics_) {
   config_.version_allocator = ResolveVersionAllocMode(config_.version_allocator);
   ResolveTraceMode(&config_);
+  ResolveSsnReadOpt(&config_);
   VersionAllocator::Instance().SetMode(config_.version_allocator);
   // Register the GC epoch manager so deferred version frees can reference it
   // by (slot, generation); detached in ~Database before members die.
@@ -58,7 +79,18 @@ Database::Database(EngineConfig config)
   tid_epoch_.set_trace_tag(2);
   gc_ = std::make_unique<GarbageCollector>(
       &gc_epoch_,
-      [this] { return tids_.OldestActiveBegin(log_.CurrentOffset()); },
+      [this] {
+        uint64_t oldest = tids_.OldestActiveBegin(log_.CurrentOffset());
+        if (config_.ssn_safe_snapshot) {
+          // Safe-snapshot readers adopt the published offset as their begin;
+          // pin the trim horizon to the previous tick's value so a reader
+          // between its published() load and its TID-table registration
+          // (nanoseconds) can never see its snapshot trimmed (the horizon
+          // follows a full daemon tick behind).
+          oldest = std::min(oldest, safesnap_.gc_horizon());
+        }
+        return oldest;
+      },
       &metrics_);
   if (config_.metrics_report_interval_ms > 0) {
     reporter_ = std::make_unique<metrics::Reporter>(
@@ -92,11 +124,24 @@ Status Database::Open() {
   }
   ERMIA_RETURN_NOT_OK(log_.Open());
   occ_snapshot_.store(log_.CurrentOffset(), std::memory_order_release);
+  safesnap_.Reset(log_.CurrentOffset());
   if (config_.enable_gc) gc_->Start(config_.gc_interval_ms);
   stop_daemons_.store(false);
   snapshot_daemon_ = std::thread([this] {
+    uint64_t last_safe = safesnap_.published();
     while (!stop_daemons_.load(std::memory_order_acquire)) {
       RefreshOccSnapshot();
+      // Safe-snapshot LSN state machine (cc/safe_snapshot.h). Always ticked
+      // so the gauge tracks reality regardless of the feature flags; the
+      // tail must be loaded before the call (it is sequenced before the
+      // epoch advance inside).
+      safesnap_.Tick(gc_epoch_, log_.CurrentOffset());
+      const uint64_t safe = safesnap_.published();
+      if (safe != last_safe) {
+        last_safe = safe;
+        trace::Emit(trace::Event::kSafeSnapshotPublish, 0, safe,
+                    safesnap_.GetStats().burnt);
+      }
       // Keep the finer-grained epoch managers ticking (paper §3.4: multiple
       // timelines at different granularities).
       tid_epoch_.Advance();
@@ -275,6 +320,12 @@ metrics::MetricsSnapshot Database::SnapshotMetrics() const {
   // events and events lost to ring wrap.
   set(metrics::Ctr::kTraceEventsRecorded, trace::TotalRecorded());
   set(metrics::Ctr::kTraceEventsDropped, trace::TotalDropped());
+  // Safe-snapshot maintenance + reader-registry saturation.
+  const SafeSnapshotManager::Stats ss = safesnap_.GetStats();
+  set(metrics::Ctr::kSsnSafeSnapshotLsn, ss.published);
+  set(metrics::Ctr::kSsnSafesnapRounds, ss.rounds);
+  set(metrics::Ctr::kSsnSafesnapBurnt, ss.burnt);
+  set(metrics::Ctr::kSsnReaderSlotWaits, ssn_readers_.slot_waits());
   return snap;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cc/lock_manager.h"
+#include "cc/safe_snapshot.h"
 #include "cc/ssn_readers.h"
 #include "common/macros.h"
 #include "common/spin_latch.h"
@@ -141,6 +142,13 @@ class Database {
     occ_snapshot_.store(log_.CurrentOffset(), std::memory_order_release);
   }
 
+  // Safe-snapshot LSN maintenance for the SSN read-mostly optimizations
+  // (cc/safe_snapshot.h). Always maintained by the snapshot daemon — the
+  // gauge and tests don't depend on the feature flags — and consumed when
+  // EngineConfig::ssn_safe_snapshot / ssn_read_opt are set.
+  SafeSnapshotManager& safesnap() { return safesnap_; }
+  uint64_t safe_snapshot_offset() const { return safesnap_.published(); }
+
  private:
   friend class Transaction;
 
@@ -163,6 +171,7 @@ class Database {
   // overwriters can resolve in-flight readers without a global latch (see
   // docs/INTERNALS.md "Parallel SSN commit").
   SsnReaderRegistry ssn_readers_;
+  SafeSnapshotManager safesnap_;
   RecordLockTable lock_table_;  // 2PL baseline only
   EpochManager gc_epoch_;   // version reclamation (coarse timescale)
   EpochManager rcu_epoch_;  // structure memory (medium timescale)

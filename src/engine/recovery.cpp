@@ -535,6 +535,16 @@ Status Database::ApplyCheckpointImage(const void* image_ptr,
 Status Database::RecoverImpl() {
   LogScanner scanner(config_.log_dir);
   ERMIA_RETURN_NOT_OK(scanner.Init());
+  // Per-operation logs (Fig. 10 WAL emulation) write records as operations
+  // execute, before the transaction's fate is known; replaying them would
+  // resurrect the writes of aborted transactions. The mode is stamped into
+  // each segment's file name, so refuse up front instead of installing
+  // garbage.
+  if (scanner.any_per_operation()) {
+    return Status::InvalidArgument(
+        "log was written with log_per_operation=true and is not recoverable: "
+        "per-operation segments contain records of aborted transactions");
+  }
   const uint32_t workers = ResolveRecoveryThreads(config_);
 
   // Try checkpoints newest-to-oldest; a corrupt/torn/unreadable one is

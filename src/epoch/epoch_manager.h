@@ -52,6 +52,14 @@ class EpochManager {
   // thread migrated. The caller must not hold references across this call.
   bool Quiesce();
 
+  // True if the calling thread currently holds an epoch pin (Enter without a
+  // matching Exit). Lets nested code pin conditionally instead of
+  // double-entering.
+  bool InEpoch() const {
+    return threads_[ThreadRegistry::MyId()].active.load(
+        std::memory_order_relaxed);
+  }
+
   // Current open epoch.
   Epoch current() const { return epoch_.load(std::memory_order_acquire); }
 

@@ -48,6 +48,7 @@ Status LogManager::Open() {
     seg->segnum = 0;
     seg->start_offset = kLogStartOffset;
     seg->end_offset = kLogStartOffset + config_.log_segment_size;
+    seg->per_operation = config_.log_per_operation;
     ERMIA_RETURN_NOT_OK(CreateSegmentFile(config_.log_dir, seg.get()));
     latest_segment_.store(seg.get(), std::memory_order_release);
     segments_.push_back(std::move(seg));
@@ -203,6 +204,7 @@ const LogSegment* LogManager::OpenSegmentAt(uint64_t start) {
   seg->segnum = (last->segnum + 1) % kNumLogSegments;
   seg->start_offset = start;
   seg->end_offset = start + config_.log_segment_size;
+  seg->per_operation = config_.log_per_operation;
   Status s = CreateSegmentFile(config_.log_dir, seg.get());
   ERMIA_CHECK(s.ok());
   const LogSegment* raw = seg.get();

@@ -82,7 +82,10 @@ class LogManager {
   //    the peer as not-yet-committing before taking this bound can still
   //    conclude the peer's eventual cstamp exceeds its own.
   // Callers that additionally need to *occupy a position* in the offset
-  // word's modification order (none today) must keep using OrderedTail().
+  // word's modification order must keep using OrderedTail() — SSN's
+  // reader-only commit does when it carries exempt (read-opt) reads, so its
+  // stamp claim synchronizes with the pre-commit stores of every
+  // smaller-stamped writer it may need to wait on.
   uint64_t SeqCstTailBound() const {
     return next_offset_.load(std::memory_order_seq_cst);
   }

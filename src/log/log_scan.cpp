@@ -31,11 +31,16 @@ Status LogScanner::Init() {
   while ((ent = ::readdir(d)) != nullptr) {
     uint32_t segnum;
     uint64_t start, end;
-    if (!ParseSegmentFileName(ent->d_name, &segnum, &start, &end)) continue;
+    bool per_operation;
+    if (!ParseSegmentFileName(ent->d_name, &segnum, &start, &end,
+                              &per_operation)) {
+      continue;
+    }
     LogSegment seg;
     seg.segnum = segnum;
     seg.start_offset = start;
     seg.end_offset = end;
+    seg.per_operation = per_operation;
     seg.path = dir_ + "/" + ent->d_name;
     seg.fd = ::open(seg.path.c_str(), O_RDONLY);
     if (seg.fd < 0) {

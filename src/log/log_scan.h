@@ -117,6 +117,17 @@ class LogScanner {
 
   const std::vector<LogSegment>& segments() const { return segments_; }
 
+  // True if any discovered segment was written under log_per_operation (its
+  // name carries the "-perop" stamp). Such logs interleave records of
+  // transactions that later aborted and must not be replayed; recovery
+  // refuses them up front.
+  bool any_per_operation() const {
+    for (const LogSegment& seg : segments_) {
+      if (seg.per_operation) return true;
+    }
+    return false;
+  }
+
  private:
   bool ReadValidBlock(const LogSegment& seg, uint64_t pos, uint64_t file_size,
                       LogBlockHeader* hdr, std::vector<char>* payload) const;

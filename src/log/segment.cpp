@@ -10,24 +10,34 @@
 
 namespace ermia {
 
-std::string SegmentFileName(uint32_t segnum, uint64_t start, uint64_t end) {
+std::string SegmentFileName(uint32_t segnum, uint64_t start, uint64_t end,
+                            bool per_operation) {
   char buf[96];
-  std::snprintf(buf, sizeof buf, "log-%02x-%016" PRIx64 "-%016" PRIx64, segnum,
-                start, end);
+  std::snprintf(buf, sizeof buf, "log-%02x-%016" PRIx64 "-%016" PRIx64 "%s",
+                segnum, start, end, per_operation ? "-perop" : "");
   return buf;
 }
 
 bool ParseSegmentFileName(const std::string& name, uint32_t* segnum,
-                          uint64_t* start, uint64_t* end) {
+                          uint64_t* start, uint64_t* end,
+                          bool* per_operation) {
   unsigned seg = 0;
   uint64_t s = 0, e = 0;
-  if (std::sscanf(name.c_str(), "log-%02x-%16" SCNx64 "-%16" SCNx64, &seg, &s,
-                  &e) != 3) {
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "log-%02x-%16" SCNx64 "-%16" SCNx64 "%n", &seg,
+                  &s, &e, &consumed) != 3) {
     return false;
+  }
+  const char* rest = name.c_str() + consumed;
+  bool perop = false;
+  if (rest[0] != '\0') {
+    if (name.compare(consumed, std::string::npos, "-perop") != 0) return false;
+    perop = true;
   }
   *segnum = seg;
   *start = s;
   *end = e;
+  if (per_operation != nullptr) *per_operation = perop;
   return true;
 }
 
@@ -36,8 +46,8 @@ Status CreateSegmentFile(const std::string& dir, LogSegment* seg) {
     seg->fd = -1;
     return Status::OK();
   }
-  seg->path =
-      dir + "/" + SegmentFileName(seg->segnum, seg->start_offset, seg->end_offset);
+  seg->path = dir + "/" + SegmentFileName(seg->segnum, seg->start_offset,
+                                          seg->end_offset, seg->per_operation);
   seg->fd = fault::CreateFile(seg->path.c_str(), O_CREAT | O_RDWR | O_TRUNC,
                               0644);
   if (seg->fd < 0) {

@@ -23,6 +23,13 @@ struct LogSegment {
   uint64_t start_offset = 0;  // first logical offset mapped by this segment
   uint64_t end_offset = 0;    // one past the last mappable offset
   int fd = -1;                // -1 when logging is in-memory only
+  // Written under log_per_operation (Fig. 10 WAL emulation). Such segments
+  // contain records of transactions that later aborted, so they are NOT
+  // recoverable; the mode is stamped into the segment's durable metadata
+  // (its file name — segments carry no byte-level header, the file maps 1:1
+  // to the offset range) so Recover() can refuse fast instead of silently
+  // resurrecting aborted writes.
+  bool per_operation = false;
   std::string path;
 
   bool Contains(uint64_t offset, uint64_t size) const {
@@ -36,12 +43,16 @@ struct LogSegment {
   }
 };
 
-// Builds the canonical file name for a segment.
-std::string SegmentFileName(uint32_t segnum, uint64_t start, uint64_t end);
+// Builds the canonical file name for a segment ("-perop" suffix stamps the
+// unrecoverable per-operation logging mode).
+std::string SegmentFileName(uint32_t segnum, uint64_t start, uint64_t end,
+                            bool per_operation = false);
 
 // Parses a segment file name; returns false if the name is not a segment.
+// `per_operation` (nullable) receives the mode stamp.
 bool ParseSegmentFileName(const std::string& name, uint32_t* segnum,
-                          uint64_t* start, uint64_t* end);
+                          uint64_t* start, uint64_t* end,
+                          bool* per_operation = nullptr);
 
 // Creates (and truncates) the segment file on disk. No-op if dir is empty.
 Status CreateSegmentFile(const std::string& dir, LogSegment* seg);

@@ -111,6 +111,14 @@ const char* CtrName(Ctr c) {
       return "txn_res_pool_hits";
     case Ctr::kTxnResPoolMisses:
       return "txn_res_pool_misses";
+    case Ctr::kSsnSafesnapTxns:
+      return "ssn_safesnap_txns";
+    case Ctr::kSsnReadOptReads:
+      return "ssn_read_opt_reads";
+    case Ctr::kSsnBitmapAdvertises:
+      return "ssn_bitmap_advertises";
+    case Ctr::kSsnReadOptWriterWaits:
+      return "ssn_read_opt_writer_waits";
     case Ctr::kIndexNodeSplits:
       return "index_node_splits";
     case Ctr::kIndexReadRetries:
@@ -143,6 +151,14 @@ const char* CtrName(Ctr c) {
       return "trace_events_recorded";
     case Ctr::kTraceEventsDropped:
       return "trace_events_dropped";
+    case Ctr::kSsnSafeSnapshotLsn:
+      return "ssn_safe_snapshot_lsn";
+    case Ctr::kSsnSafesnapRounds:
+      return "ssn_safesnap_rounds";
+    case Ctr::kSsnSafesnapBurnt:
+      return "ssn_safesnap_burnt";
+    case Ctr::kSsnReaderSlotWaits:
+      return "ssn_reader_slot_waits";
     case Ctr::kNumCounters:
       break;
   }

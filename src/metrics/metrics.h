@@ -101,6 +101,11 @@ enum class Ctr : uint32_t {
   // Transaction resource pool (txn/txn_resources.h).
   kTxnResPoolHits,
   kTxnResPoolMisses,
+  // SSN read-mostly optimizations (cc/safe_snapshot.h).
+  kSsnSafesnapTxns,        // declared-RO txns begun at the safe-snapshot LSN
+  kSsnReadOptReads,        // reads exempted from bitmap/read-set tracking
+  kSsnBitmapAdvertises,    // reader-bitmap fetch_or RMWs actually performed
+  kSsnReadOptWriterWaits,  // commit-time committer scans for old overwrites
   // ---- sampled gauges (filled at snapshot time, not sharded) ----
   kIndexNodeSplits,
   kIndexReadRetries,
@@ -123,6 +128,13 @@ enum class Ctr : uint32_t {
   // them (ring wrap).
   kTraceEventsRecorded,
   kTraceEventsDropped,
+  // Safe-snapshot maintenance (cc/safe_snapshot.h): the published safe LSN,
+  // candidate rounds attempted / burnt by a poisoning backward edge, and
+  // reader-registry slot-wait episodes (cc/ssn_readers.h).
+  kSsnSafeSnapshotLsn,
+  kSsnSafesnapRounds,
+  kSsnSafesnapBurnt,
+  kSsnReaderSlotWaits,
   kNumCounters,
 };
 

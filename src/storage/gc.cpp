@@ -46,6 +46,15 @@ void GarbageCollector::NotifyUpdate(Table* table, Oid oid) {
 }
 
 size_t GarbageCollector::RunOnce() {
+  // Pin the epoch for the whole pass: the chain walk reads versions that a
+  // concurrent worker may recycle once the limbo boundary passes their
+  // retirement epoch. The daemon's own post-pass Advance used to be the only
+  // way the boundary could move, which made the walk incidentally safe; now
+  // the safe-snapshot daemon advances this epoch too, so the pass must
+  // register like any other reader. Conditional because tests drive RunOnce
+  // from threads that already hold a pin.
+  const bool pin = !gc_epoch_->InEpoch();
+  if (pin) gc_epoch_->Enter();
   const bool traced = trace::Active();
   if (ERMIA_UNLIKELY(traced)) {
     trace::Emit(trace::Event::kGcPassBegin, 0, 0, 0);
@@ -118,6 +127,7 @@ size_t GarbageCollector::RunOnce() {
   if (ERMIA_UNLIKELY(traced)) {
     trace::Emit(trace::Event::kGcPassEnd, 0, reclaimed, 0);
   }
+  if (pin) gc_epoch_->Exit();
   return reclaimed;
 }
 

@@ -129,6 +129,8 @@ const char* EventName(Event e) {
       return "ckpt_data_synced";
     case Event::kCkptEnd:
       return "ckpt_end";
+    case Event::kSafeSnapshotPublish:
+      return "safe_snapshot_publish";
     case Event::kNumEvents:
       break;
   }

@@ -76,6 +76,9 @@ enum class Event : uint16_t {
   kCkptCollected,
   kCkptDataSynced,
   kCkptEnd,
+  // Safe-snapshot daemon (cc/safe_snapshot.h). payloads: a=published safe
+  // offset, b=candidates burnt by a poisoning backward edge so far.
+  kSafeSnapshotPublish,
   kNumEvents,
 };
 

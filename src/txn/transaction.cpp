@@ -33,7 +33,8 @@ Transaction::Transaction(Database* db, CcScheme scheme, bool read_only)
       index_inserts_(res_->index_inserts),
       held_locks_(res_->held_locks),
       scratch_versions_(res_->scratch_versions),
-      staging_(res_->staging) {
+      staging_(res_->staging),
+      read_opt_set_(res_->read_opt_set) {
   db_->metrics().Inc(res_pool_hit_ ? metrics::Ctr::kTxnResPoolHits
                                    : metrics::Ctr::kTxnResPoolMisses);
   {
@@ -42,11 +43,21 @@ Transaction::Transaction(Database* db, CcScheme scheme, bool read_only)
     in_epoch_ = true;
   }
   // OCC read-only transactions run against the read-only snapshot (Silo's
-  // copy-on-write snapshots, modeled as a lagging snapshot LSN); everyone
-  // else snapshots the current log tail.
-  begin_ = (scheme == CcScheme::kOcc && read_only)
-               ? db_->occ_snapshot_offset()
-               : db_->log().CurrentOffset();
+  // copy-on-write snapshots, modeled as a lagging snapshot LSN); declared
+  // read-only SSN transactions under ssn_safe_snapshot begin at the safe
+  // LSN (every stamp below it is final and no backward rw edge crosses it,
+  // so they serialize there with zero tracking — cc/safe_snapshot.h);
+  // everyone else snapshots the current log tail.
+  if (scheme == CcScheme::kOcc && read_only) {
+    begin_ = db_->occ_snapshot_offset();
+  } else if (scheme == CcScheme::kSiSsn && read_only &&
+             db_->config().ssn_safe_snapshot) {
+    ssn_safesnap_ = true;
+    begin_ = db_->safe_snapshot_offset();
+    db_->metrics().Inc(metrics::Ctr::kSsnSafesnapTxns);
+  } else {
+    begin_ = db_->log().CurrentOffset();
+  }
   ctx_ = db_->tids().Begin(begin_, &tid_);
   if (ERMIA_UNLIKELY(trace::SampleTxn())) {
     traced_ = true;
@@ -554,7 +565,8 @@ Status Transaction::Commit() {
     // read set must still pass Silo's commit-time validation; only declared
     // read-only transactions (one consistent snapshot) and SI snapshot
     // readers commit trivially.
-    if (scheme_ == CcScheme::kSiSsn && !read_set_.empty()) {
+    if (scheme_ == CcScheme::kSiSsn &&
+        (!read_set_.empty() || !read_opt_set_.empty())) {
       return SsnCommit();
     }
     if (scheme_ == CcScheme::kOcc && !read_only_ && !read_set_.empty()) {

@@ -112,6 +112,10 @@ class Transaction {
   uint64_t tid() const { return tid_; }
   uint64_t begin_offset() const { return begin_; }
   bool read_only() const { return read_only_; }
+  // Whether this transaction runs against the safe snapshot (declared
+  // read-only SiSsn with EngineConfig::ssn_safe_snapshot): zero read
+  // tracking, trivial commit, can never abort (cc/safe_snapshot.h).
+  bool ssn_safe_snapshot() const { return ssn_safesnap_; }
   // Whether the flight recorder sampled this transaction (trace/trace.h).
   bool traced() const { return traced_; }
   CcScheme scheme() const { return scheme_; }
@@ -174,6 +178,13 @@ class Transaction {
 
   // ---- SSN (cc/ssn.cpp) ----
   void SsnOnRead(Version* version);
+  // Read-opt exemption (cc/safe_snapshot.h): `version` committed below the
+  // safe-snapshot LSN, so its overwriter's stamps are final or will be
+  // resolved at commit — fold what is already final into the local stamps
+  // and skip the reader-bitmap advertisement entirely. Versions whose
+  // overwriter is still in flight go to read_opt_set_ for commit-time
+  // resolution.
+  void SsnOnReadExempt(Version* version);
   Status SsnOnUpdate(Version* prev);
   Status SsnCommit();
   bool SsnExclusionViolated() const;
@@ -221,6 +232,8 @@ class Transaction {
   uint64_t begin_ = 0;  // begin timestamp (log offset)
   metrics::AbortReason abort_reason_ = metrics::AbortReason::kExplicit;
   bool abort_marked_ = false;
+  // Safe-snapshot mode (see ssn_safe_snapshot() above).
+  bool ssn_safesnap_ = false;
   // Flight recorder: sampling decision made once at begin; every per-op
   // emit hides behind this bool, so untraced transactions pay one
   // predictable branch per operation.
@@ -250,6 +263,10 @@ class Transaction {
   // Transaction-private materializations of lazy-recovery stubs that could
   // not be swapped into the chain; freed when the transaction finishes.
   std::vector<Version*>& scratch_versions_;
+
+  // SSN read-opt: exempt reads whose overwriter was still in flight at read
+  // time (no bitmap bit, no ReadSetEntry; resolved again at commit).
+  std::vector<Version*>& read_opt_set_;
 
   // Private log staging buffer: record headers + keys + payloads,
   // concatenated in operation order (paper: "accumulate descriptors in the

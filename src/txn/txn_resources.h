@@ -60,6 +60,10 @@ struct TxnResources {
   std::vector<TplLockEntry> held_locks;
   std::vector<Version*> scratch_versions;
   std::vector<char> staging;
+  // SSN read-opt exemption (cc/safe_snapshot.h): old versions read without
+  // bitmap advertisement whose overwriter sstamp was not yet final at read
+  // time. Resolved again at commit; only the pstamp publish survives.
+  std::vector<Version*> read_opt_set;
 
   // Clears every container, retaining capacity (the point of the pool).
   void Clear() {
@@ -70,6 +74,7 @@ struct TxnResources {
     held_locks.clear();
     scratch_versions.clear();
     staging.clear();
+    read_opt_set.clear();
   }
 };
 

@@ -641,6 +641,77 @@ TEST_P(RecoveryTest, LazyRollForwardInstallsStubs) {
   EXPECT_EQ(Get(pk_, "s2"), "v2");
 }
 
+// ---- per-operation logs are unrecoverable --------------------------------
+
+// log_per_operation (Fig. 10 WAL emulation) writes records as operations
+// execute, before commit/abort is decided: replaying such a log would
+// resurrect aborted transactions' writes. The mode is stamped into each
+// segment file name ("-perop"), so a restart must refuse to recover — fast,
+// with a clear error — rather than silently install garbage.
+TEST(PerOperationLogTest, RecoveryFailsFastWithClearError) {
+  EngineConfig config;
+  config.synchronous_commit = true;
+  config.log_per_operation = true;
+  testing::TempDb db(config);
+  {
+    ASSERT_TRUE(db->Open().ok());
+    Table* table = db->CreateTable("t");
+    Index* pk = db->CreateIndex(table, "t_pk");
+    Transaction committed(db.get(), CcScheme::kSi);
+    Oid oid = 0;
+    ASSERT_TRUE(committed.Insert(table, pk, "k", "v", &oid).ok());
+    ASSERT_TRUE(committed.Commit().ok());
+    // The hazard the stamp guards against: this transaction's records are
+    // already on disk even though it aborts.
+    Transaction aborted(db.get(), CcScheme::kSi);
+    ASSERT_TRUE(aborted.Insert(table, pk, "ghost", "boo", &oid).ok());
+    aborted.Abort();
+  }
+  db.ShutDown();
+
+  // The stamp must be visible in the segment file names themselves.
+  {
+    LogScanner scanner(db.dir());
+    ASSERT_TRUE(scanner.Init().ok());
+    ASSERT_FALSE(scanner.segments().empty());
+    EXPECT_TRUE(scanner.any_per_operation());
+    for (const LogSegment& seg : scanner.segments()) {
+      EXPECT_NE(seg.path.find("-perop"), std::string::npos) << seg.path;
+    }
+  }
+
+  db.Restart(config);
+  Table* table = db->CreateTable("t");
+  db->CreateIndex(table, "t_pk");
+  ASSERT_TRUE(db->Open().ok());
+  const Status s = db->Recover();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("log_per_operation"), std::string::npos)
+      << s.ToString();
+}
+
+// A normal-mode log written by the same build must keep parsing (the
+// un-suffixed name form stays valid) — guards against the stamp breaking
+// old-log compatibility.
+TEST(PerOperationLogTest, NormalSegmentsCarryNoStamp) {
+  uint32_t segnum = 0;
+  uint64_t start = 0, end = 0;
+  bool perop = true;
+  const std::string plain = SegmentFileName(7, 64, 4096, false);
+  EXPECT_EQ(plain.find("-perop"), std::string::npos);
+  ASSERT_TRUE(ParseSegmentFileName(plain, &segnum, &start, &end, &perop));
+  EXPECT_EQ(segnum, 7u);
+  EXPECT_EQ(start, 64u);
+  EXPECT_EQ(end, 4096u);
+  EXPECT_FALSE(perop);
+  // Flag-less call form (pre-stamp callers) still accepts both names.
+  ASSERT_TRUE(ParseSegmentFileName(SegmentFileName(3, 64, 4096, true), &segnum,
+                                   &start, &end));
+  EXPECT_EQ(segnum, 3u);
+  // Trailing garbage after the offsets is not a segment.
+  EXPECT_FALSE(ParseSegmentFileName(plain + ".tmp", &segnum, &start, &end));
+}
+
 INSTANTIATE_TEST_SUITE_P(SerialAndParallel, RecoveryTest,
                          ::testing::Values(1u, 4u),
                          [](const ::testing::TestParamInfo<uint32_t>& info) {

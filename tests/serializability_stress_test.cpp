@@ -30,8 +30,15 @@ class SerializabilityStressTest : public ::testing::TestWithParam<CcScheme> {
   static constexpr int kThreads = 4;
   static constexpr int kTxnsPerThread = 300;
 
-  void SetUp() override {
-    db_ = std::make_unique<testing::TempDb>();
+  // (Re)creates the database and oracle and seeds the hot set. Tests call
+  // this directly so the read-mostly variant can run the same workload
+  // differentially under multiple engine configurations.
+  void Init(EngineConfig config = {}) {
+    checker_ = std::make_unique<testing::HistoryChecker>();
+    oids_.clear();
+    table_ = nullptr;
+    pk_ = nullptr;
+    db_ = std::make_unique<testing::TempDb>(config);
     ASSERT_TRUE((*db_)->Open().ok());
     table_ = (*db_)->CreateTable("t");
     pk_ = (*db_)->CreateIndex(table_, "t_pk");
@@ -41,7 +48,7 @@ class SerializabilityStressTest : public ::testing::TestWithParam<CcScheme> {
       Transaction txn(db_->get(), CcScheme::kSi);
       Oid oid = 0;
       char buf[8];
-      const uint64_t wid = checker_.NextWriteId();
+      const uint64_t wid = checker_->NextWriteId();
       ASSERT_TRUE(txn.Insert(table_, pk_, key,
                              testing::HistoryChecker::EncodeWriteId(wid, buf),
                              &oid)
@@ -50,7 +57,7 @@ class SerializabilityStressTest : public ::testing::TestWithParam<CcScheme> {
       // Seed writes participate in the graph as the records' creators.
       testing::FootprintBuilder fp;
       fp.OnWrite(oid, wid);
-      checker_.AddCommitted(std::move(fp).Finish(txn.tid()));
+      checker_->AddCommitted(std::move(fp).Finish(txn.tid()));
       oids_.push_back(oid);
     }
   }
@@ -74,7 +81,7 @@ class SerializabilityStressTest : public ::testing::TestWithParam<CcScheme> {
           }
           fp.OnRead(oids_[rec], v);
           if (rng.Bernoulli(0.4)) {
-            const uint64_t wid = checker_.NextWriteId();
+            const uint64_t wid = checker_->NextWriteId();
             char buf[8];
             Status ws =
                 txn.Update(table_, oids_[rec],
@@ -91,7 +98,7 @@ class SerializabilityStressTest : public ::testing::TestWithParam<CcScheme> {
           continue;
         }
         if (txn.Commit().ok()) {
-          checker_.AddCommitted(std::move(fp).Finish(txn.tid()));
+          checker_->AddCommitted(std::move(fp).Finish(txn.tid()));
         }
       }
       ThreadRegistry::Deregister();
@@ -101,7 +108,63 @@ class SerializabilityStressTest : public ::testing::TestWithParam<CcScheme> {
     for (auto& t : threads) t.join();
   }
 
-  testing::HistoryChecker checker_;
+  // Read-mostly mix: half the transactions are declared read-only (under SSN
+  // with ssn_safe_snapshot these take the zero-tracking safe-snapshot path;
+  // under OCC the Silo snapshot), the rest read-write with a low write
+  // probability. Workers pump the safe-snapshot protocol as they go, so the
+  // safe LSN sweeps across the versions being read and the old-version
+  // exemption boundary is exercised, not just the all-young steady state.
+  void RunReadMostlyWorkload(CcScheme scheme) {
+    auto worker = [&](int seed) {
+      FastRandom rng(seed);
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        if (i % 16 == 0) {
+          (*db_)->safesnap().Tick((*db_)->gc_epoch(),
+                                  (*db_)->log().CurrentOffset());
+        }
+        const bool read_only = rng.Bernoulli(0.5);
+        Transaction txn(db_->get(), scheme, read_only);
+        testing::FootprintBuilder fp;
+        bool aborted = false;
+        const int nops = 2 + static_cast<int>(rng.UniformU64(0, 4));
+        for (int op = 0; op < nops && !aborted; ++op) {
+          const int rec = static_cast<int>(rng.UniformU64(0, kRecords - 1));
+          Slice v;
+          Status rs = txn.Read(table_, oids_[rec], &v);
+          if (!rs.ok()) {
+            aborted = true;
+            break;
+          }
+          fp.OnRead(oids_[rec], v);
+          if (!read_only && rng.Bernoulli(0.2)) {
+            const uint64_t wid = checker_->NextWriteId();
+            char buf[8];
+            Status ws =
+                txn.Update(table_, oids_[rec],
+                           testing::HistoryChecker::EncodeWriteId(wid, buf));
+            if (!ws.ok()) {
+              aborted = true;
+              break;
+            }
+            fp.OnWrite(oids_[rec], wid);
+          }
+        }
+        if (aborted) {
+          txn.Abort();
+          continue;
+        }
+        if (txn.Commit().ok()) {
+          checker_->AddCommitted(std::move(fp).Finish(txn.tid()));
+        }
+      }
+      ThreadRegistry::Deregister();
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t + 1);
+    for (auto& t : threads) t.join();
+  }
+
+  std::unique_ptr<testing::HistoryChecker> checker_;
   std::unique_ptr<testing::TempDb> db_;
   Table* table_ = nullptr;
   Index* pk_ = nullptr;
@@ -110,8 +173,9 @@ class SerializabilityStressTest : public ::testing::TestWithParam<CcScheme> {
 
 TEST_P(SerializabilityStressTest, CommittedHistoryMatchesIsolationClaim) {
   const CcScheme scheme = GetParam();
+  Init();
   RunWorkload(scheme);
-  const auto result = checker_.Check();
+  const auto result = checker_->Check();
   // Seeds alone are kRecords commits; require real concurrent traffic.
   ASSERT_GT(result.num_txns, static_cast<size_t>(kRecords) + 100)
       << "too few commits to be meaningful";
@@ -142,6 +206,36 @@ TEST_P(SerializabilityStressTest, CommittedHistoryMatchesIsolationClaim) {
         }
         std::fprintf(stderr, "\n");
       }
+    }
+  }
+}
+
+// Same oracle, read-mostly shape, run differentially: once with the SSN
+// read-mostly optimizations off and once with safe snapshots + the
+// old-version read exemption on. Every scheme gets both runs (the flags are
+// inert outside SSN, which doubles as a no-interference check); the SSN run
+// is the one that certifies the optimizations never commit a cycle.
+TEST_P(SerializabilityStressTest, ReadMostlyMixMatchesIsolationClaim) {
+  const CcScheme scheme = GetParam();
+  for (const bool optimized : {false, true}) {
+    SCOPED_TRACE(optimized ? "ssn_safe_snapshot+ssn_read_opt on"
+                           : "read-mostly optimizations off");
+    EngineConfig config;
+    config.ssn_safe_snapshot = optimized;
+    config.ssn_read_opt = optimized;
+    Init(config);
+    RunReadMostlyWorkload(scheme);
+    const auto result = checker_->Check();
+    ASSERT_GT(result.num_txns, static_cast<size_t>(kRecords) + 100)
+        << "too few commits to be meaningful";
+    if (scheme == CcScheme::kSi) {
+      std::fprintf(stderr, "plain SI read-mostly %s\n",
+                   result.Describe().c_str());
+    } else {
+      EXPECT_FALSE(result.cyclic)
+          << CcSchemeName(scheme)
+          << " committed a non-serializable read-mostly history: "
+          << result.Describe();
     }
   }
 }
