@@ -10,14 +10,15 @@ cmake -B "$BUILD_DIR" -S . -DERMIA_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j --target \
   cc_ssn_test cc_ssn_parallel_test txn_semantics_test concurrency_test \
   metrics_test trace_test version_alloc_test ssn_readopt_test \
-  serializability_stress_test crash_recovery_harness
+  serializability_stress_test crash_recovery_harness \
+  degraded_mode_test governor_test
 
 # tsan.supp waives only the optimistic-lock-coupling reads in the B+-tree
 # (benign by protocol: validated against the node version word and retried).
 export TSAN_OPTIONS=${TSAN_OPTIONS:-"halt_on_error=1 suppressions=$PWD/tsan.supp"}
 for t in cc_ssn_test cc_ssn_parallel_test txn_semantics_test concurrency_test \
          metrics_test trace_test version_alloc_test ssn_readopt_test \
-         serializability_stress_test; do
+         serializability_stress_test degraded_mode_test governor_test; do
   echo "=== $t (tsan) ==="
   "$BUILD_DIR/tests/$t"
 done

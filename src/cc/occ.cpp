@@ -213,11 +213,12 @@ Status Transaction::OccCommit() {
   InstallCommitBlock(clsn);
   ctx_->StoreState(TxnState::kCommitted);
   PostCommit(clsn);
+  Status ds = Status::OK();
   if (db_->config().synchronous_commit) {
-    WaitCommitDurable(clsn.offset() + BlockSizeForStaging());
+    ds = WaitCommitDurable(clsn.offset() + BlockSizeForStaging());
   }
   Finish(true);
-  return Status::OK();
+  return ds;
 }
 
 }  // namespace ermia

@@ -165,12 +165,15 @@ Status Transaction::SiCommit() {
   // Visibility point: all updates become visible atomically (§3.1).
   ctx_->StoreState(TxnState::kCommitted);
   PostCommit(clsn);
+  Status ds = Status::OK();
   if (db_->config().synchronous_commit) {
     ERMIA_PROF_LOG();
-    WaitCommitDurable(clsn.offset() + BlockSizeForStaging());
+    // Non-OK (LogUnavailable): the commit is visible but was never
+    // acknowledged durable — surface that to the caller after Finish.
+    ds = WaitCommitDurable(clsn.offset() + BlockSizeForStaging());
   }
   Finish(true);
-  return Status::OK();
+  return ds;
 }
 
 }  // namespace ermia

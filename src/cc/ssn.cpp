@@ -431,14 +431,15 @@ Status Transaction::SsnCommit() {
   if (has_writes) InstallCommitBlock(clsn);
   ctx_->StoreState(TxnState::kCommitted);
   db_->tids().EndCommitting();
+  Status ds = Status::OK();
   if (has_writes) {
     PostCommit(clsn);
     if (db_->config().synchronous_commit) {
-      WaitCommitDurable(clsn.offset() + BlockSizeForStaging());
+      ds = WaitCommitDurable(clsn.offset() + BlockSizeForStaging());
     }
   }
   Finish(true);
-  return Status::OK();
+  return ds;
 }
 
 }  // namespace ermia

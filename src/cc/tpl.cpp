@@ -122,12 +122,13 @@ Status Transaction::TplCommit() {
   InstallCommitBlock(clsn);
   ctx_->StoreState(TxnState::kCommitted);
   PostCommit(clsn);
+  Status ds = Status::OK();
   if (db_->config().synchronous_commit) {
-    WaitCommitDurable(clsn.offset() + BlockSizeForStaging());
+    ds = WaitCommitDurable(clsn.offset() + BlockSizeForStaging());
   }
   TplReleaseAll();
   Finish(true);
-  return Status::OK();
+  return ds;
 }
 
 }  // namespace ermia

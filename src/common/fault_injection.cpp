@@ -18,6 +18,7 @@ std::atomic<Mode> g_mode{Mode::kNone};
 std::atomic<uint64_t> g_seed{0};
 std::atomic<uint64_t> g_trigger{0};
 std::atomic<uint64_t> g_ops{0};
+std::atomic<uint64_t> g_fires{1};
 
 uint64_t Mix64(uint64_t x) {
   x += 0x9e3779b97f4a7c15ull;
@@ -33,16 +34,25 @@ uint64_t Mix64(uint64_t x) {
   ::_exit(137);  // unreachable; placate the compiler
 }
 
-// Returns the armed mode iff this call is the triggering op. Each
-// instrumented call bumps the op counter exactly once.
+// Returns the armed mode iff this call is at or past the triggering op. Each
+// instrumented call bumps the op counter exactly once. Callers that actually
+// fire a survivable fault consume one fire via ConsumeFire(); an op type the
+// mode does not apply to (e.g. kFsyncError seen by a pwrite) leaves the plan
+// armed for the next eligible op.
 Mode FireCheck() {
   if (g_mode.load(std::memory_order_relaxed) == Mode::kNone) return Mode::kNone;
   const uint64_t n = g_ops.fetch_add(1, std::memory_order_relaxed) + 1;
   const Mode mode = g_mode.load(std::memory_order_relaxed);
-  if (mode == Mode::kNone || n != g_trigger.load(std::memory_order_relaxed)) {
+  if (mode == Mode::kNone || n < g_trigger.load(std::memory_order_relaxed)) {
     return Mode::kNone;
   }
   return mode;
+}
+
+// Spends one fire of a survivable fault; disarms when the budget runs out.
+// kFireUntilDisarmed never reaches zero in any realistic run.
+void ConsumeFire() {
+  if (g_fires.fetch_sub(1, std::memory_order_relaxed) <= 1) Disarm();
 }
 
 // Prefix length for a torn/short write of n bytes: anywhere in [0, n).
@@ -93,6 +103,8 @@ bool PwriteAllRaw(int fd, const char* p, size_t n, off_t off) {
 void InstallPlan(const Plan& plan) {
   g_seed.store(plan.seed, std::memory_order_relaxed);
   g_trigger.store(plan.trigger_after, std::memory_order_relaxed);
+  g_fires.store(plan.fire_count == 0 ? 1 : plan.fire_count,
+                std::memory_order_relaxed);
   g_ops.store(0, std::memory_order_relaxed);
   g_mode.store(plan.mode, std::memory_order_release);
 }
@@ -114,7 +126,7 @@ bool WriteAll(int fd, const void* data, size_t n) {
     }
     case Mode::kShortWrite: {
       (void)WriteAllRaw(fd, p, TornPrefix(n));
-      Disarm();
+      ConsumeFire();
       errno = ENOSPC;
       return false;
     }
@@ -135,7 +147,7 @@ bool PwriteAll(int fd, const void* data, size_t n, off_t off) {
     }
     case Mode::kShortWrite: {
       (void)PwriteAllRaw(fd, p, TornPrefix(n), off);
-      Disarm();
+      ConsumeFire();
       errno = ENOSPC;
       return false;
     }
@@ -150,7 +162,7 @@ int Fdatasync(int fd) {
     case Mode::kCrash:
       Die();
     case Mode::kFsyncError:
-      Disarm();
+      ConsumeFire();
       errno = EIO;
       return -1;
     default:
@@ -168,7 +180,7 @@ int Fsync(int fd) {
     case Mode::kCrash:
       Die();
     case Mode::kFsyncError:
-      Disarm();
+      ConsumeFire();
       errno = EIO;
       return -1;
     default:

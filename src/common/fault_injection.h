@@ -37,21 +37,35 @@ enum class Mode : uint8_t {
   // write, then kill the process with SIGKILL: a torn write at crash time.
   kTornWrite,
   // Write a prefix and report failure to the caller, then disarm: a
-  // survivable short write (ENOSPC-shaped). Callers that can degrade
-  // gracefully (checkpoint) return an error; the log flusher panics.
+  // survivable short write (ENOSPC-shaped). Callers degrade gracefully —
+  // checkpoints return an error, the log flusher enters the stall protocol
+  // (kStalled; panic only with log_degraded_modes off).
   kShortWrite,
   // Fail the triggering fdatasync/fsync with EIO, then disarm. The log
-  // flusher treats this as fatal (a "successful" commit after a failed
-  // fsync would acknowledge data that is not durable).
+  // flusher poisons itself (sticky read-only; panic with log_degraded_modes
+  // off): a "successful" commit after a failed fsync would acknowledge data
+  // that is not durable.
   kFsyncError,
   // Kill the process with SIGKILL before performing the triggering op.
   kCrash,
 };
 
+// Sentinel for Plan::fire_count: the fault fires on every eligible op until
+// an explicit Disarm(). Steady-state degradation tests use this to hold a
+// "disk full" condition and then release it.
+inline constexpr uint64_t kFireUntilDisarmed = UINT64_MAX;
+
 struct Plan {
   Mode mode = Mode::kNone;
   uint64_t seed = 0;           // drives the torn-write prefix length
   uint64_t trigger_after = 0;  // fire on the Nth instrumented op (1-based)
+  // How many times a survivable fault (kShortWrite, kFsyncError) fires
+  // before auto-disarming. The default preserves the historical one-shot
+  // semantics; kFireUntilDisarmed makes the condition sticky. The trigger
+  // window is [trigger_after, ∞): an armed survivable fault fires on every
+  // *eligible* op (kShortWrite on writes, kFsyncError on fsyncs) at or past
+  // the trigger until its fires are spent.
+  uint64_t fire_count = 1;
 };
 
 // Arms `plan` process-wide and resets the op counter. Call before the

@@ -7,11 +7,57 @@
 #define ERMIA_COMMON_SPIN_LATCH_H_
 
 #include <atomic>
+#include <cstdint>
 #include <thread>
 
 #include "common/macros.h"
 
 namespace ermia {
+
+// Seedable per-thread jitter source for backoff randomization. Deterministic
+// exponential backoff makes symmetric contenders retry in lockstep (a retry
+// convoy: everyone sleeps the same 2^k, everyone collides again); a little
+// per-thread noise breaks the symmetry. Each thread derives its own xorshift
+// stream from a process-wide base seed plus a dense per-thread ordinal, so a
+// test that calls Seed() before spawning workers gets a reproducible run.
+class BackoffJitter {
+ public:
+  // Re-seeds the process-wide base. Threads that already drew from their
+  // stream keep it; call before spawning workers for full determinism.
+  static void Seed(uint64_t base) {
+    Base().store(base, std::memory_order_relaxed);
+  }
+
+  // Uniform draw in [0, bound); bound == 0 returns 0.
+  static uint32_t Next(uint32_t bound) {
+    if (bound == 0) return 0;
+    uint64_t& s = State();
+    s ^= s >> 12;
+    s ^= s << 25;
+    s ^= s >> 27;
+    return static_cast<uint32_t>(((s * 0x2545f4914f6cdd1dull) >> 33) % bound);
+  }
+
+ private:
+  static std::atomic<uint64_t>& Base() {
+    static std::atomic<uint64_t> base{0x9e3779b97f4a7c15ull};
+    return base;
+  }
+  static uint64_t& State() {
+    thread_local uint64_t state = 0;
+    if (ERMIA_UNLIKELY(state == 0)) {
+      static std::atomic<uint64_t> ordinal{1};
+      const uint64_t o = ordinal.fetch_add(1, std::memory_order_relaxed);
+      uint64_t z = Base().load(std::memory_order_relaxed) +
+                   o * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      state = z ^ (z >> 31);
+      if (state == 0) state = 1;  // xorshift must not start at 0
+    }
+    return state;
+  }
+};
 
 class SpinLatch {
  public:
@@ -54,18 +100,23 @@ class SpinLatchGuard {
 };
 
 // Bounded spin helper for lock-free retry loops; yields under contention.
+// The spin budget is re-drawn with jitter after every yield: contenders that
+// entered the loop together desynchronize instead of re-colliding each round.
 class Backoff {
  public:
   void Pause() {
-    if (++spins_ > kSpinLimit) {
+    if (++spins_ > limit_) {
       std::this_thread::yield();
       spins_ = 0;
+      limit_ = kSpinLimit / 2 +
+               static_cast<int>(BackoffJitter::Next(kSpinLimit));
     }
   }
 
  private:
   static constexpr int kSpinLimit = 32;
   int spins_ = 0;
+  int limit_ = kSpinLimit;
 };
 
 }  // namespace ermia

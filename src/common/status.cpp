@@ -25,6 +25,8 @@ const char* CodeName(Status::Code code) {
       return "NOT_SUPPORTED";
     case Status::Code::kCorruption:
       return "CORRUPTION";
+    case Status::Code::kLogUnavailable:
+      return "LOG_UNAVAILABLE";
   }
   return "UNKNOWN";
 }

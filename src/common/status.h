@@ -25,6 +25,9 @@ class Status {
     kIOError = 7,
     kNotSupported = 8,
     kCorruption = 9,     // log/recovery integrity violation
+    kLogUnavailable = 10,  // log stalled (ENOSPC) or poisoned (failed fsync):
+                           // write transactions are rejected / not acked
+                           // durable (log/log_manager.h state machine)
   };
 
   Status() : code_(Code::kOk) {}
@@ -57,6 +60,9 @@ class Status {
   static Status Corruption(std::string msg = "") {
     return Status(Code::kCorruption, std::move(msg));
   }
+  static Status LogUnavailable(std::string msg = "") {
+    return Status(Code::kLogUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -66,9 +72,13 @@ class Status {
   bool IsKeyExists() const { return code_ == Code::kKeyExists; }
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsLogUnavailable() const { return code_ == Code::kLogUnavailable; }
 
   // True for any outcome that should cause the enclosing transaction to abort
   // and (typically) retry: WW conflicts, validation failures, phantoms.
+  // kLogUnavailable is deliberately NOT here: it is an engine-health signal,
+  // not a CC outcome — callers decide whether to wait, retry, or shed load
+  // (txn/retry_policy.h treats it as retryable with a long backoff).
   bool ShouldAbort() const {
     return code_ == Code::kConflict || code_ == Code::kAborted ||
            code_ == Code::kPhantom;

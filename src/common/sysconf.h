@@ -163,6 +163,47 @@ struct EngineConfig {
   // the trace rings to this path post-mortem (composes with the crash
   // harness: the handler re-raises, preserving the death signal).
   std::string trace_crash_dump_path;
+
+  // ---- graceful degradation (docs/INTERNALS.md "Degraded modes") ----------
+
+  // Log-stall protocol: steady-state flush failures degrade the engine
+  // instead of crashing it. ENOSPC/EDQUOT on a segment write parks the
+  // flusher in a stalled state that retries with bounded backoff while new
+  // write transactions are rejected with Status::LogUnavailable (reads keep
+  // running); any other write error or a failed fdatasync poisons the log:
+  // a sticky read-only mode that never acknowledges durability past the last
+  // known-good offset. When false, the legacy fail-stop ERMIA_CHECK crash is
+  // preserved. The ERMIA_LOG_STALL environment variable ("on" | "off")
+  // overrides this at Database construction.
+  bool log_degraded_modes = true;
+
+  // Stalled-flusher retry pacing: exponential backoff between flush retries,
+  // from initial to max.
+  uint64_t log_stall_retry_initial_ms = 10;
+  uint64_t log_stall_retry_max_ms = 1000;
+
+  // Abort-storm governor (engine/governor.h): AIMD admission gate that sheds
+  // concurrent writers when the measured abort rate crosses the high
+  // watermark and re-grows the limit when it falls below the low one.
+  // Off by default (it trades peak throughput for goodput under contention);
+  // the ERMIA_OVERLOAD environment variable ("on" | "off") overrides it at
+  // Database construction.
+  bool governor_enabled = false;
+  uint32_t governor_high_permille = 650;  // shrink limit above this rate
+  uint32_t governor_low_permille = 300;   // grow limit below this rate
+  uint32_t governor_min_writers = 1;      // floor for the writer limit
+  // Minimum (commits + aborts) per tick before the rate is considered
+  // meaningful; quiet ticks leave the limit untouched.
+  uint32_t governor_min_sample = 64;
+
+  // Engine watchdog (engine/watchdog.h): background daemon that detects a
+  // non-advancing durable offset with pending log bytes, stuck epoch
+  // boundaries, and a stuck safe-snapshot horizon; a trip logs one line,
+  // bumps kWatchdogTrips, and (if watchdog_dump_dir is set) drops a trace
+  // dump + metrics snapshot there. watchdog_interval_ms = 0 disables it.
+  uint64_t watchdog_interval_ms = 500;
+  uint64_t watchdog_grace_ms = 5000;
+  std::string watchdog_dump_dir;
 };
 
 }  // namespace ermia

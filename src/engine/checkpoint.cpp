@@ -192,7 +192,10 @@ Status Database::TakeCheckpoint(uint64_t* begin_offset_out) {
   }
 
   // Every address we recorded must be durable before the checkpoint counts.
-  log_.WaitForDurable(log_.CurrentOffset());
+  // A degraded log cannot promise that: on a poisoned log this returns
+  // LogUnavailable and the checkpoint is refused rather than written with
+  // addresses that may never become durable.
+  ERMIA_RETURN_NOT_OK(log_.WaitForDurable(log_.CurrentOffset()));
 
   const std::string data_path =
       config_.log_dir + "/" + CheckpointDataName(begin);

@@ -6,6 +6,8 @@
 #include <cstring>
 
 #include "common/profiling.h"
+#include "engine/governor.h"
+#include "engine/watchdog.h"
 #include "storage/version_alloc.h"
 #include "trace/trace.h"
 
@@ -60,13 +62,49 @@ void ResolveSsnReadOpt(EngineConfig* config) {
     config->ssn_read_opt = true;
   }
 }
+
+// ERMIA_LOG_STALL=on|off overrides log_degraded_modes (fault-injection CI
+// flips between the stall protocol and legacy fail-stop without rebuilding).
+void ResolveLogStall(EngineConfig* config) {
+  const char* env = std::getenv("ERMIA_LOG_STALL");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0) {
+    config->log_degraded_modes = false;
+  } else if (std::strcmp(env, "on") == 0 || std::strcmp(env, "1") == 0) {
+    config->log_degraded_modes = true;
+  }
+}
+
+// ERMIA_OVERLOAD=on|off overrides governor_enabled (the overload ablation
+// sweeps goodput with the governor on and off per run).
+void ResolveOverload(EngineConfig* config) {
+  const char* env = std::getenv("ERMIA_OVERLOAD");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0) {
+    config->governor_enabled = false;
+  } else if (std::strcmp(env, "on") == 0 || std::strcmp(env, "1") == 0) {
+    config->governor_enabled = true;
+  }
+}
+
+// Overrides that must land before the member-init list runs: LogManager
+// copies the config at construction, so log-affecting knobs resolved in the
+// constructor body would never reach it.
+EngineConfig ResolveEarlyEnv(EngineConfig config) {
+  ResolveLogStall(&config);
+  ResolveOverload(&config);
+  return config;
+}
 }  // namespace
 
 Database::Database(EngineConfig config)
-    : config_(std::move(config)), log_(config_, &metrics_) {
+    : config_(ResolveEarlyEnv(std::move(config))), log_(config_, &metrics_) {
   config_.version_allocator = ResolveVersionAllocMode(config_.version_allocator);
   ResolveTraceMode(&config_);
   ResolveSsnReadOpt(&config_);
+  if (config_.governor_enabled) {
+    governor_ = std::make_unique<OverloadGovernor>(config_, &metrics_);
+  }
   VersionAllocator::Instance().SetMode(config_.version_allocator);
   // Register the GC epoch manager so deferred version frees can reference it
   // by (slot, generation); detached in ~Database before members die.
@@ -148,6 +186,17 @@ Status Database::Open() {
       tid_epoch_.RunReclaimers();
       rcu_epoch_.Advance();
       rcu_epoch_.RunReclaimers();
+      if (governor_ != nullptr) {
+        // AIMD control tick: feed cumulative commit/abort counts; the
+        // governor diffs them internally. Sum() walks the shards with
+        // relaxed loads — cheap enough for a per-tick sample.
+        uint64_t aborts = 0;
+        for (uint32_t c = metrics::kAbortCtrBase;
+             c <= static_cast<uint32_t>(metrics::Ctr::kAbortOther); ++c) {
+          aborts += metrics_.Sum(static_cast<metrics::Ctr>(c));
+        }
+        governor_->Tick(metrics_.Sum(metrics::Ctr::kTxnCommits), aborts);
+      }
       std::this_thread::sleep_for(
           std::chrono::milliseconds(config_.occ_snapshot_interval_ms));
     }
@@ -166,6 +215,14 @@ Status Database::Open() {
       ThreadRegistry::Deregister();
     });
   }
+  if (config_.watchdog_interval_ms > 0) {
+    // Constructed here (not in the Database ctor) so its baselines seed from
+    // the post-Open log offsets rather than zeros — and before the reporter
+    // starts, because SnapshotMetrics reads the watchdog_ pointer from the
+    // reporter's thread.
+    watchdog_ = std::make_unique<Watchdog>(this);
+    watchdog_->Start();
+  }
   if (reporter_ != nullptr) reporter_->Start();
   open_ = true;
   return Status::OK();
@@ -173,6 +230,10 @@ Status Database::Open() {
 
 void Database::Close() {
   if (!open_) return;
+  // Stop (join) the watchdog before tearing the engine down, but keep the
+  // object alive until ~Database: the reporter daemon is still running and
+  // SnapshotMetrics reads the watchdog_ pointer from its thread.
+  if (watchdog_ != nullptr) watchdog_->Stop();
   stop_daemons_.store(true);
   if (snapshot_daemon_.joinable()) snapshot_daemon_.join();
   if (checkpoint_daemon_.joinable()) checkpoint_daemon_.join();
@@ -326,6 +387,18 @@ metrics::MetricsSnapshot Database::SnapshotMetrics() const {
   set(metrics::Ctr::kSsnSafesnapRounds, ss.rounds);
   set(metrics::Ctr::kSsnSafesnapBurnt, ss.burnt);
   set(metrics::Ctr::kSsnReaderSlotWaits, ssn_readers_.slot_waits());
+  // Degraded-mode health gauges (log stall protocol, governor, watchdog).
+  set(metrics::Ctr::kLogHealthState,
+      static_cast<uint64_t>(log_.health()));
+  set(metrics::Ctr::kGovWriterLimit,
+      governor_ != nullptr ? governor_->writer_limit() : 0);
+  set(metrics::Ctr::kGovInflightWriters,
+      governor_ != nullptr ? governor_->inflight() : 0);
+  set(metrics::Ctr::kGovAbortRatePermille,
+      governor_ != nullptr ? governor_->abort_rate_permille() : 0);
+  set(metrics::Ctr::kWatchdogLastTripReason,
+      watchdog_ != nullptr ? static_cast<uint64_t>(watchdog_->last_reason())
+                           : 0);
   return snap;
 }
 

@@ -33,6 +33,8 @@
 namespace ermia {
 
 class LogScanner;
+class OverloadGovernor;
+class Watchdog;
 
 // Aggregate engine counters for monitoring and tests.
 //
@@ -149,6 +151,14 @@ class Database {
   SafeSnapshotManager& safesnap() { return safesnap_; }
   uint64_t safe_snapshot_offset() const { return safesnap_.published(); }
 
+  // Abort-storm governor (engine/governor.h): nullptr unless
+  // EngineConfig::governor_enabled. Transactions check it once at Begin.
+  OverloadGovernor* governor() { return governor_.get(); }
+
+  // Engine watchdog (engine/watchdog.h): nullptr unless
+  // EngineConfig::watchdog_interval_ms > 0 and the database is open.
+  Watchdog* watchdog() { return watchdog_.get(); }
+
  private:
   friend class Transaction;
 
@@ -178,6 +188,8 @@ class Database {
   EpochManager tid_epoch_;  // TID-table generations (fine timescale)
   std::unique_ptr<GarbageCollector> gc_;
   std::unique_ptr<metrics::Reporter> reporter_;  // opt-in via config
+  std::unique_ptr<OverloadGovernor> governor_;   // opt-in via config
+  std::unique_ptr<Watchdog> watchdog_;           // created in Open()
 
   // Guards the catalog vectors/maps below against the one legal concurrency:
   // schema creation racing an engine-internal stats snapshot (Reporter

@@ -1,0 +1,80 @@
+#include "engine/governor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/spin_latch.h"
+#include "trace/trace.h"
+
+namespace ermia {
+
+OverloadGovernor::OverloadGovernor(const EngineConfig& config,
+                                   metrics::EngineMetrics* metrics)
+    : metrics_(metrics),
+      high_permille_(config.governor_high_permille),
+      low_permille_(config.governor_low_permille),
+      min_writers_(std::max<uint32_t>(1, config.governor_min_writers)),
+      max_writers_(kMaxThreads),
+      min_sample_(std::max<uint32_t>(1, config.governor_min_sample)),
+      limit_(kMaxThreads) {}
+
+void OverloadGovernor::AdmitWriter() {
+  for (uint32_t round = 0;; ++round) {
+    uint32_t cur = inflight_.load(std::memory_order_relaxed);
+    while (cur < limit_.load(std::memory_order_relaxed)) {
+      if (inflight_.compare_exchange_weak(cur, cur + 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+        return;
+      }
+    }
+    if (round >= kMaxAdmissionRounds) {
+      // Fail open: take the slot over-limit rather than strand the worker.
+      inflight_.fetch_add(1, std::memory_order_acq_rel);
+      if (metrics_ != nullptr) {
+        metrics_->Inc(metrics::Ctr::kGovAdmissionTimeouts);
+      }
+      return;
+    }
+    if (metrics_ != nullptr && round == 0) {
+      metrics_->Inc(metrics::Ctr::kGovAdmissionWaits);
+    }
+    // Jittered sleep, growing with the round: parked writers wake staggered
+    // instead of stampeding the gate the instant a slot frees.
+    const uint32_t ceil_us =
+        std::min<uint32_t>(kMaxSleepUs, 50u << std::min<uint32_t>(round, 5));
+    const uint32_t us = 1 + BackoffJitter::Next(ceil_us);
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+void OverloadGovernor::ReleaseWriter() {
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void OverloadGovernor::Tick(uint64_t commits, uint64_t aborts) {
+  const uint64_t dc = commits - last_commits_;
+  const uint64_t da = aborts - last_aborts_;
+  last_commits_ = commits;
+  last_aborts_ = aborts;
+  const uint64_t total = dc + da;
+  if (total < min_sample_) return;  // too quiet to judge; hold the limit
+  const uint32_t permille = static_cast<uint32_t>(da * 1000 / total);
+  rate_permille_.store(permille, std::memory_order_relaxed);
+  const uint32_t limit = limit_.load(std::memory_order_relaxed);
+  uint32_t next = limit;
+  if (permille >= high_permille_) {
+    next = std::max(min_writers_, limit / 2);  // multiplicative decrease
+  } else if (permille <= low_permille_ && limit < max_writers_) {
+    next = limit + 1;  // additive increase
+  }
+  if (next == limit) return;
+  limit_.store(next, std::memory_order_relaxed);
+  if (metrics_ != nullptr) metrics_->Inc(metrics::Ctr::kGovLimitChanges);
+  if (ERMIA_UNLIKELY(trace::Active())) {
+    trace::Emit(trace::Event::kGovernorLimit, 0, next, permille);
+  }
+}
+
+}  // namespace ermia

@@ -1,5 +1,6 @@
 #include "log/log_manager.h"
 
+#include <errno.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -10,9 +11,22 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
 namespace ermia {
+
+const char* LogHealthName(LogHealth h) {
+  switch (h) {
+    case LogHealth::kHealthy:
+      return "healthy";
+    case LogHealth::kStalled:
+      return "stalled";
+    case LogHealth::kPoisoned:
+      return "poisoned";
+  }
+  return "unknown";
+}
 
 namespace {
 // All reservations are multiples of the block-header size so every non-data
@@ -55,6 +69,14 @@ Status LogManager::Open() {
   }
   next_offset_.store(start, std::memory_order_release);
   durable_offset_.store(start, std::memory_order_release);
+  released_offset_.store(start, std::memory_order_release);
+  health_.store(static_cast<uint32_t>(LogHealth::kHealthy),
+                std::memory_order_release);
+  closed_.store(false, std::memory_order_release);
+  pending_ranges_.clear();
+  pending_target_ = start;
+  stall_backoff_ms_ = 0;
+  stall_retries_ = 0;
   tracker_.Reset(start);
   stop_.store(false);
   flusher_ = std::thread([this] { FlusherLoop(); });
@@ -99,7 +121,14 @@ void LogManager::Close() {
   stop_.store(true);
   flush_cv_.notify_all();
   flusher_.join();
-  FlushOnce();  // drain whatever completed before stop
+  FlushOnce();  // drain whatever completed before stop (may fail if degraded)
+  // From here no flush will ever advance durability: break any waiter still
+  // parked on a stalled log so it returns LogUnavailable instead of hanging.
+  {
+    std::lock_guard<std::mutex> lk(flush_mu_);
+    closed_.store(true, std::memory_order_release);
+  }
+  durable_cv_.notify_all();
   std::lock_guard<std::mutex> g(segment_mu_);
   for (auto& seg : segments_) {
     if (seg->fd >= 0) {
@@ -274,8 +303,12 @@ void LogManager::InstallSkip(Lsn lsn, uint32_t size) {
 }
 
 void LogManager::WaitForBufferSpace(uint64_t end_offset) {
+  // Producers wait on the *released* watermark, not the durable one: the two
+  // agree except when the log is poisoned, where released keeps advancing
+  // over discarded ranges so producers never deadlock on a frozen durable
+  // offset.
   if (ERMIA_LIKELY(end_offset <=
-                   durable_offset_.load(std::memory_order_acquire) +
+                   released_offset_.load(std::memory_order_acquire) +
                        ring_.capacity())) {
     return;
   }
@@ -283,18 +316,28 @@ void LogManager::WaitForBufferSpace(uint64_t end_offset) {
   flush_cv_.notify_all();
   durable_cv_.wait(lk, [&] {
     return end_offset <=
-           durable_offset_.load(std::memory_order_acquire) + ring_.capacity();
+           released_offset_.load(std::memory_order_acquire) + ring_.capacity();
   });
 }
 
-void LogManager::WaitForDurable(uint64_t offset) {
-  if (durable_offset_.load(std::memory_order_acquire) >= offset) return;
+Status LogManager::WaitForDurable(uint64_t offset) {
+  auto unavailable = [&] {
+    return Status::LogUnavailable(
+        std::string("log ") + LogHealthName(health()) +
+        ": durability frozen at offset " + std::to_string(DurableOffset()));
+  };
+  if (durable_offset_.load(std::memory_order_acquire) >= offset) {
+    return Status::OK();
+  }
+  if (ERMIA_UNLIKELY(health() == LogHealth::kPoisoned)) return unavailable();
   const auto t0 = std::chrono::steady_clock::now();
   {
     std::unique_lock<std::mutex> lk(flush_mu_);
     flush_cv_.notify_all();
     durable_cv_.wait(lk, [&] {
-      return durable_offset_.load(std::memory_order_acquire) >= offset;
+      return durable_offset_.load(std::memory_order_acquire) >= offset ||
+             health() == LogHealth::kPoisoned ||
+             closed_.load(std::memory_order_acquire);
     });
   }
   if (metrics_ != nullptr) {
@@ -304,6 +347,10 @@ void LogManager::WaitForDurable(uint64_t offset) {
     metrics_->Observe(metrics::Hist::kLogCommitWaitUs,
                       static_cast<uint64_t>(us));
   }
+  if (durable_offset_.load(std::memory_order_acquire) >= offset) {
+    return Status::OK();
+  }
+  return unavailable();
 }
 
 void LogManager::FlusherLoop() {
@@ -312,25 +359,44 @@ void LogManager::FlusherLoop() {
       std::unique_lock<std::mutex> lk(flush_mu_);
       flush_cv_.wait_for(lk, std::chrono::milliseconds(1));
     }
+    if (ERMIA_UNLIKELY(health() == LogHealth::kStalled)) {
+      // Stalled: pace retries with the backoff EnterStall computed instead
+      // of hammering a full disk every tick.
+      if (std::chrono::steady_clock::now() < next_retry_at_) continue;
+      ++stall_retries_;
+      if (metrics_ != nullptr) metrics_->Inc(metrics::Ctr::kLogStallRetries);
+    }
     FlushOnce();
   }
   ThreadRegistry::Deregister();
 }
 
 void LogManager::FlushOnce() {
-  const uint64_t target = tracker_.complete_until();
+  if (ERMIA_UNLIKELY(health() == LogHealth::kPoisoned)) {
+    DiscardCompleted();
+    return;
+  }
+  // Adopt new completed work only when no failed batch is pending: a retry
+  // must re-attempt exactly the ranges already taken from the tracker
+  // (TakeCompleted removed them; their ring bytes are intact because
+  // released_offset_ has not passed them).
+  if (pending_ranges_.empty()) {
+    const uint64_t target = tracker_.complete_until();
+    if (target <= durable_offset_.load(std::memory_order_acquire)) return;
+    pending_ranges_ = tracker_.TakeCompleted(target);
+    pending_target_ = target;
+  }
+  const uint64_t target = pending_target_;
   const uint64_t durable = durable_offset_.load(std::memory_order_acquire);
-  if (target <= durable) return;
   const bool traced = trace::Active();
   if (ERMIA_UNLIKELY(traced)) {
     trace::Emit(trace::Event::kLogFlushBegin, 0, target - durable, 0);
   }
   const auto t0 = std::chrono::steady_clock::now();
-  auto ranges = tracker_.TakeCompleted(target);
   if (!in_memory()) {
     std::vector<char> buf;
     std::vector<LogSegment*> touched;
-    for (const auto& r : ranges) {
+    for (const auto& r : pending_ranges_) {
       if (!r.has_data) continue;
       LogSegment* seg = nullptr;
       {
@@ -346,27 +412,49 @@ void LogManager::FlushOnce() {
       const uint64_t n = r.end - r.begin;
       buf.resize(n);
       ring_.Read(r.begin, buf.data(), n);
-      // A write failure here is unrecoverable: the range was completed, so
-      // committers may already be waiting on it. Panicking is the only
-      // answer that cannot acknowledge a commit whose bytes never landed.
-      ERMIA_CHECK(fault::PwriteAll(seg->fd, buf.data(), n,
-                                   static_cast<off_t>(
-                                       seg->FileOffset(r.begin))));
+      // The range was completed, so committers may already be waiting on it.
+      // Two answers cannot acknowledge a commit whose bytes never landed:
+      // panicking (legacy fail-stop, log_degraded_modes=false) or refusing
+      // to advance durable_offset_ while degrading (stall on out-of-space,
+      // which is transient; poison on anything else).
+      if (ERMIA_UNLIKELY(!fault::PwriteAll(
+              seg->fd, buf.data(), n,
+              static_cast<off_t>(seg->FileOffset(r.begin))))) {
+        const int err = errno;
+        ERMIA_CHECK(config_.log_degraded_modes);
+        if (err == ENOSPC || err == EDQUOT) {
+          EnterStall(err);
+        } else {
+          Poison(err);
+        }
+        return;
+      }
       if (config_.synchronous_commit &&
           (touched.empty() || touched.back() != seg)) {
         touched.push_back(seg);
       }
     }
-    // fsync failure is equally fatal (fsync-gate semantics): after a failed
-    // fdatasync the page cache state is unknowable, so advancing
-    // durable_offset_ — and thereby acking commits — would be a lie.
-    for (LogSegment* seg : touched) ERMIA_CHECK(fault::Fdatasync(seg->fd) == 0);
+    // fsync failure is never survivable as a retry (fsync-gate semantics):
+    // after a failed fdatasync the page cache state is unknowable, so
+    // advancing durable_offset_ — and thereby acking commits — would be a
+    // lie, now or on any later attempt. Poison (or panic in legacy mode).
+    for (LogSegment* seg : touched) {
+      if (ERMIA_UNLIKELY(fault::Fdatasync(seg->fd) != 0)) {
+        const int err = errno;
+        ERMIA_CHECK(config_.log_degraded_modes);
+        Poison(err);
+        return;
+      }
+    }
   }
+  pending_ranges_.clear();
   {
     std::lock_guard<std::mutex> lk(flush_mu_);
     durable_offset_.store(target, std::memory_order_release);
+    released_offset_.store(target, std::memory_order_release);
   }
   durable_cv_.notify_all();
+  if (ERMIA_UNLIKELY(health() == LogHealth::kStalled)) ResumeFromStall(target);
   if (metrics_ != nullptr) {
     // Batch size counts the whole durability advance (group-commit batch),
     // including skip blocks and alignment, which is the quantity that drives
@@ -386,6 +474,88 @@ void LogManager::FlushOnce() {
   }
 }
 
+void LogManager::EnterStall(int err) {
+  if (health() == LogHealth::kHealthy) {
+    stall_backoff_ms_ = std::max<uint64_t>(1, config_.log_stall_retry_initial_ms);
+    stall_retries_ = 0;
+    health_.store(static_cast<uint32_t>(LogHealth::kStalled),
+                  std::memory_order_release);
+    if (metrics_ != nullptr) metrics_->Inc(metrics::Ctr::kLogStalls);
+    if (ERMIA_UNLIKELY(trace::Active())) {
+      trace::Emit(trace::Event::kLogStallBegin, 0, DurableOffset(),
+                  static_cast<uint64_t>(err));
+    }
+    std::fprintf(stderr,
+                 "ermia: log stalled (%s) at durable offset %llu; "
+                 "rejecting writes, retrying flush\n",
+                 std::strerror(err),
+                 static_cast<unsigned long long>(DurableOffset()));
+  } else {
+    // Retry failed again: grow the backoff toward the cap.
+    stall_backoff_ms_ =
+        std::min(stall_backoff_ms_ * 2,
+                 std::max<uint64_t>(1, config_.log_stall_retry_max_ms));
+  }
+  next_retry_at_ = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(stall_backoff_ms_);
+}
+
+void LogManager::ResumeFromStall(uint64_t target) {
+  health_.store(static_cast<uint32_t>(LogHealth::kHealthy),
+                std::memory_order_release);
+  if (metrics_ != nullptr) metrics_->Inc(metrics::Ctr::kLogStallResumes);
+  if (ERMIA_UNLIKELY(trace::Active())) {
+    trace::Emit(trace::Event::kLogStallEnd, 0, target, stall_retries_);
+  }
+  std::fprintf(stderr,
+               "ermia: log stall resolved after %llu retries; durable "
+               "offset %llu, admitting writes\n",
+               static_cast<unsigned long long>(stall_retries_),
+               static_cast<unsigned long long>(target));
+  stall_retries_ = 0;
+  stall_backoff_ms_ = 0;
+}
+
+void LogManager::Poison(int err) {
+  health_.store(static_cast<uint32_t>(LogHealth::kPoisoned),
+                std::memory_order_release);
+  if (metrics_ != nullptr) metrics_->Inc(metrics::Ctr::kLogPoisonEvents);
+  if (ERMIA_UNLIKELY(trace::Active())) {
+    trace::Emit(trace::Event::kLogPoisoned, 0, DurableOffset(),
+                static_cast<uint64_t>(err));
+  }
+  std::fprintf(stderr,
+               "ermia: log poisoned (%s); durability frozen at offset %llu, "
+               "engine is read-only from here on\n",
+               std::strerror(err),
+               static_cast<unsigned long long>(DurableOffset()));
+  DiscardCompleted();
+  // DiscardCompleted only notifies when it releases bytes; always wake
+  // WaitForDurable waiters so they observe the poisoned state and fail.
+  {
+    std::lock_guard<std::mutex> lk(flush_mu_);
+  }
+  durable_cv_.notify_all();
+}
+
+void LogManager::DiscardCompleted() {
+  const uint64_t target = tracker_.complete_until();
+  if (target > pending_target_) {
+    auto more = tracker_.TakeCompleted(target);
+    pending_ranges_.insert(pending_ranges_.end(), more.begin(), more.end());
+    pending_target_ = target;
+  }
+  pending_ranges_.clear();  // never written, never acked
+  const uint64_t release_to = pending_target_;
+  if (release_to > released_offset_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lk(flush_mu_);
+      released_offset_.store(release_to, std::memory_order_release);
+    }
+    durable_cv_.notify_all();
+  }
+}
+
 Status LogManager::ReadDurable(uint64_t offset, void* dst,
                                uint32_t size) const {
   if (in_memory()) return Status::NotSupported("in-memory log");
@@ -394,11 +564,30 @@ Status LogManager::ReadDurable(uint64_t offset, void* dst,
     const LogSegment* seg = it->get();
     if (offset >= seg->start_offset && offset + size <= seg->end_offset) {
       bool hard_error = false;
-      if (fault::PreadFull(seg->fd, dst, size,
+      errno = 0;
+      const size_t got =
+          fault::PreadFull(seg->fd, dst, size,
                            static_cast<off_t>(seg->FileOffset(offset)),
-                           &hard_error) != size) {
-        return Status::IOError(hard_error ? "log read failed"
-                                          : "short log read");
+                           &hard_error);
+      if (got != size) {
+        // PreadFull already retried EINTR and partial reads, so a shortfall
+        // is either a hard device error (errno tells which) or a true EOF —
+        // the segment file is shorter than the offset math says it should
+        // be. Distinguish them in the message: the first means failing
+        // media, the second means a truncated or torn segment.
+        if (metrics_ != nullptr) metrics_->Inc(metrics::Ctr::kLogReadErrors);
+        if (hard_error) {
+          return Status::IOError(
+              "log read failed at offset " + std::to_string(offset) + " (" +
+              std::strerror(errno) + "), got " + std::to_string(got) + "/" +
+              std::to_string(size) + " bytes from " + seg->path);
+        }
+        return Status::IOError(
+            "short log read at offset " + std::to_string(offset) +
+            ": EOF after " + std::to_string(got) + "/" +
+            std::to_string(size) + " bytes in " + seg->path +
+            " (transient EINTR/short reads were already retried; the "
+            "segment file is truncated)");
       }
       return Status::OK();
     }

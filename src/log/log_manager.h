@@ -9,6 +9,7 @@
 #define ERMIA_LOG_LOG_MANAGER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -25,6 +26,29 @@
 #include "metrics/metrics.h"
 
 namespace ermia {
+
+// Steady-state health of the durability pipeline (graceful degradation; see
+// docs/INTERNALS.md "Degraded modes"). Values are stable: the
+// kLogHealthState gauge and watchdog trip payloads export them numerically.
+enum class LogHealth : uint32_t {
+  // Normal operation: flushes succeed, writes admitted, durability advances.
+  kHealthy = 0,
+  // A segment write failed with ENOSPC/EDQUOT. The flusher retains the taken
+  // ranges and retries them with bounded exponential backoff; new write
+  // transactions are rejected with Status::LogUnavailable, reads keep
+  // running, and in-flight synchronous commits block until the retry
+  // succeeds (resume) or the log degrades further. Fully reversible.
+  kStalled = 1,
+  // A write failed hard (EIO, ...) or an fdatasync failed. After a failed
+  // fsync the page-cache state is unknowable, so the durable offset — and
+  // with it every durability acknowledgment — freezes at the last
+  // known-good value forever (fsync-gate semantics). The engine continues
+  // as a read-only store; completed ring ranges are discarded (never
+  // acked) so writers blocked on buffer space always drain. Sticky.
+  kPoisoned = 2,
+};
+
+const char* LogHealthName(LogHealth h);
 
 class LogManager {
  public:
@@ -98,10 +122,35 @@ class LogManager {
   void InstallSkip(Lsn lsn, uint32_t size);
 
   // Group-commit wait: blocks until all offsets below `offset` are durable.
-  void WaitForDurable(uint64_t offset);
+  // Returns LogUnavailable (without acknowledging durability) if the log is
+  // poisoned or closed before the target is reached; while merely stalled it
+  // keeps waiting, because a successful retry will still make the bytes
+  // durable.
+  Status WaitForDurable(uint64_t offset);
 
   uint64_t DurableOffset() const {
     return durable_offset_.load(std::memory_order_acquire);
+  }
+
+  // Current health of the durability pipeline (single writer: the flusher).
+  LogHealth health() const {
+    return static_cast<LogHealth>(health_.load(std::memory_order_acquire));
+  }
+
+  // Admission check for new write operations: only a healthy log accepts
+  // them. Callers surface Status::LogUnavailable when this is false.
+  bool WritesAllowed() const { return health() == LogHealth::kHealthy; }
+
+  // Largest offset below which every range has been marked (data or hole) —
+  // the flusher's next target. CompleteUntil() > DurableOffset() with a
+  // non-advancing durable offset is the watchdog's flusher-stall signal.
+  uint64_t CompleteUntil() const { return tracker_.complete_until(); }
+
+  // Ring-space watermark: bytes below it have left the ring (written
+  // durably, or discarded by a poisoned log). Equals DurableOffset() in
+  // healthy operation; only diverges once poisoned.
+  uint64_t ReleasedOffset() const {
+    return released_offset_.load(std::memory_order_acquire);
   }
 
   // Reads `size` bytes at logical offset from the durable log (recovery and
@@ -140,12 +189,26 @@ class LogManager {
   void FlusherLoop();
   void FlushOnce();
 
+  // Degradation transitions (flusher thread only; see LogHealth).
+  void EnterStall(int err);
+  void ResumeFromStall(uint64_t target);
+  void Poison(int err);
+  // Poisoned mode: consume completed ranges without writing them and advance
+  // released_offset_ so producers blocked on ring space always drain.
+  void DiscardCompleted();
+
   EngineConfig config_;
   metrics::EngineMetrics* metrics_;  // nullable
 
   alignas(kCacheLineSize) std::atomic<uint64_t> next_offset_{kLogStartOffset};
   alignas(kCacheLineSize) std::atomic<uint64_t> durable_offset_{
       kLogStartOffset};
+  // Ring-space watermark; see ReleasedOffset().
+  std::atomic<uint64_t> released_offset_{kLogStartOffset};
+  std::atomic<uint32_t> health_{static_cast<uint32_t>(LogHealth::kHealthy)};
+  // Set at the end of Close(): breaks WaitForDurable waiters that would
+  // otherwise sleep forever on a log that stalled and then shut down.
+  std::atomic<bool> closed_{false};
 
   LogRingBuffer ring_;
   CompletionTracker tracker_;
@@ -162,6 +225,17 @@ class LogManager {
   std::mutex flush_mu_;
   std::condition_variable flush_cv_;     // wakes the flusher
   std::condition_variable durable_cv_;   // wakes commit waiters
+
+  // Flusher-private retry state (touched only by the flusher thread, and by
+  // Close() after joining it): ranges taken from the tracker but not yet
+  // durable. TakeCompleted() removes ranges, so a failed flush must retain
+  // them here for an idempotent retry — the ring bytes are intact because
+  // released_offset_ has not advanced past them.
+  std::vector<CompletionTracker::Range> pending_ranges_;
+  uint64_t pending_target_ = 0;
+  uint64_t stall_backoff_ms_ = 0;
+  uint64_t stall_retries_ = 0;
+  std::chrono::steady_clock::time_point next_retry_at_{};
 
   std::atomic<uint64_t> skip_blocks_{0};
   std::atomic<uint64_t> dead_zone_bytes_{0};

@@ -29,6 +29,8 @@ const char* AbortReasonName(AbortReason r) {
       return "phantom";
     case AbortReason::kTplNoWait:
       return "tpl_no_wait";
+    case AbortReason::kLogUnavailable:
+      return "log_unavailable";
     case AbortReason::kOther:
       return "other";
     case AbortReason::kNumReasons:
@@ -69,6 +71,8 @@ const char* CtrName(Ctr c) {
       return "abort_phantom";
     case Ctr::kAbortTplNoWait:
       return "abort_tpl_no_wait";
+    case Ctr::kAbortLogUnavailable:
+      return "abort_log_unavailable";
     case Ctr::kAbortOther:
       return "abort_other";
     case Ctr::kLogFlushes:
@@ -119,6 +123,26 @@ const char* CtrName(Ctr c) {
       return "ssn_bitmap_advertises";
     case Ctr::kSsnReadOptWriterWaits:
       return "ssn_read_opt_writer_waits";
+    case Ctr::kLogStalls:
+      return "log_stalls";
+    case Ctr::kLogStallRetries:
+      return "log_stall_retries";
+    case Ctr::kLogStallResumes:
+      return "log_stall_resumes";
+    case Ctr::kLogPoisonEvents:
+      return "log_poison_events";
+    case Ctr::kLogReadErrors:
+      return "log_read_errors";
+    case Ctr::kLogWriterRejects:
+      return "log_writer_rejects";
+    case Ctr::kGovAdmissionWaits:
+      return "gov_admission_waits";
+    case Ctr::kGovAdmissionTimeouts:
+      return "gov_admission_timeouts";
+    case Ctr::kGovLimitChanges:
+      return "gov_limit_changes";
+    case Ctr::kWatchdogTrips:
+      return "watchdog_trips";
     case Ctr::kIndexNodeSplits:
       return "index_node_splits";
     case Ctr::kIndexReadRetries:
@@ -159,6 +183,16 @@ const char* CtrName(Ctr c) {
       return "ssn_safesnap_burnt";
     case Ctr::kSsnReaderSlotWaits:
       return "ssn_reader_slot_waits";
+    case Ctr::kLogHealthState:
+      return "log_health_state";
+    case Ctr::kGovWriterLimit:
+      return "gov_writer_limit";
+    case Ctr::kGovInflightWriters:
+      return "gov_inflight_writers";
+    case Ctr::kGovAbortRatePermille:
+      return "gov_abort_rate_permille";
+    case Ctr::kWatchdogLastTripReason:
+      return "watchdog_last_trip_reason";
     case Ctr::kNumCounters:
       break;
   }

@@ -46,6 +46,7 @@ enum class AbortReason : uint32_t {
   kOccReadValidation,     // OCC read-set validation failed
   kPhantom,               // node-set (phantom) validation failed
   kTplNoWait,             // 2PL bounded-wait lock acquisition gave up
+  kLogUnavailable,        // log stalled/poisoned: writer shed at commit
   kOther,                 // anything else (safety net)
   kNumReasons,
 };
@@ -75,6 +76,7 @@ enum class Ctr : uint32_t {
   kAbortOccReadValidation,
   kAbortPhantom,
   kAbortTplNoWait,
+  kAbortLogUnavailable,
   kAbortOther,
   // Log manager.
   kLogFlushes,
@@ -106,6 +108,18 @@ enum class Ctr : uint32_t {
   kSsnReadOptReads,        // reads exempted from bitmap/read-set tracking
   kSsnBitmapAdvertises,    // reader-bitmap fetch_or RMWs actually performed
   kSsnReadOptWriterWaits,  // commit-time committer scans for old overwrites
+  // Graceful degradation (log/log_manager.h state machine, engine/governor,
+  // engine/watchdog).
+  kLogStalls,              // healthy -> stalled transitions (ENOSPC)
+  kLogStallRetries,        // flush retries attempted while stalled
+  kLogStallResumes,        // stalled -> healthy transitions (space freed)
+  kLogPoisonEvents,        // -> poisoned transitions (EIO / failed fsync)
+  kLogReadErrors,          // ReadDurable shortfalls (hard error or EOF)
+  kLogWriterRejects,       // writer ops rejected with Status::LogUnavailable
+  kGovAdmissionWaits,      // governor admission-gate sleep episodes
+  kGovAdmissionTimeouts,   // admission waits that failed open (anti-livelock)
+  kGovLimitChanges,        // AIMD writer-limit adjustments applied
+  kWatchdogTrips,          // watchdog trip events (any reason)
   // ---- sampled gauges (filled at snapshot time, not sharded) ----
   kIndexNodeSplits,
   kIndexReadRetries,
@@ -135,6 +149,15 @@ enum class Ctr : uint32_t {
   kSsnSafesnapRounds,
   kSsnSafesnapBurnt,
   kSsnReaderSlotWaits,
+  // Graceful-degradation gauges: current log health (0 healthy / 1 stalled /
+  // 2 poisoned), the governor's current writer limit, in-flight admitted
+  // writers and last measured abort rate (permille), and the watchdog's last
+  // trip reason (engine/watchdog.h; 0 = none).
+  kLogHealthState,
+  kGovWriterLimit,
+  kGovInflightWriters,
+  kGovAbortRatePermille,
+  kWatchdogLastTripReason,
   kNumCounters,
 };
 
@@ -250,6 +273,21 @@ class EngineMetrics {
   // Fills `profile` from prof::SnapshotAll(); sampled gauges stay zero (the
   // Database overlays them).
   MetricsSnapshot Snapshot() const;
+
+  // Relaxed sum of one counter across all shards. Cheap enough for periodic
+  // polling (the overload governor samples commit/abort counters every tick
+  // without paying for a full Snapshot()).
+  uint64_t Sum(Ctr c) const {
+    const uint32_t hwm = ThreadRegistry::HighWaterMark();
+    const uint32_t n = hwm < kMaxThreads ? hwm : kMaxThreads;
+    uint64_t total = 0;
+    for (uint32_t t = 0; t < n; ++t) {
+      total += shards_[t]
+                   .counters[static_cast<size_t>(c)]
+                   .load(std::memory_order_relaxed);
+    }
+    return total;
+  }
 
   static size_t BucketFor(uint64_t v) {
     if (v == 0) return 0;

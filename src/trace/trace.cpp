@@ -131,6 +131,16 @@ const char* EventName(Event e) {
       return "ckpt_end";
     case Event::kSafeSnapshotPublish:
       return "safe_snapshot_publish";
+    case Event::kLogStallBegin:
+      return "log_stall_begin";
+    case Event::kLogStallEnd:
+      return "log_stall_end";
+    case Event::kLogPoisoned:
+      return "log_poisoned";
+    case Event::kGovernorLimit:
+      return "governor_limit";
+    case Event::kWatchdogTrip:
+      return "watchdog_trip";
     case Event::kNumEvents:
       break;
   }

@@ -79,6 +79,16 @@ enum class Event : uint16_t {
   // Safe-snapshot daemon (cc/safe_snapshot.h). payloads: a=published safe
   // offset, b=candidates burnt by a poisoning backward edge so far.
   kSafeSnapshotPublish,
+  // Graceful degradation. Stall span: begin(a=durable offset at stall,
+  // b=errno), end(a=durable offset at resume, b=retries spent). poisoned
+  // (a=last durable offset, b=errno) is sticky and emits once. governor
+  // limit(a=new writer limit, b=abort rate permille); watchdog trip
+  // (a=reason code, b=reason-specific detail, e.g. the stuck offset).
+  kLogStallBegin,
+  kLogStallEnd,
+  kLogPoisoned,
+  kGovernorLimit,
+  kWatchdogTrip,
   kNumEvents,
 };
 

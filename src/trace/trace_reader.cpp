@@ -178,6 +178,7 @@ std::string ToChromeTraceJson(const TraceDump& dump) {
       {Event::kGcPassBegin, Event::kGcPassEnd, "gc_pass", "gc"},
       {Event::kLogFlushBegin, Event::kLogFlushEnd, "log_flush", "log"},
       {Event::kCkptBegin, Event::kCkptEnd, "checkpoint", "ckpt"},
+      {Event::kLogStallBegin, Event::kLogStallEnd, "log_stall", "health"},
   };
   auto kind_for = [&](Event e, bool* is_begin) -> const SpanKind* {
     for (const SpanKind& k : kSpanKinds) {
@@ -285,6 +286,11 @@ std::string ToChromeTraceJson(const TraceDump& dump) {
       case Event::kCkptCollected:
       case Event::kCkptDataSynced:
         instant(e, "ckpt");
+        break;
+      case Event::kLogPoisoned:
+      case Event::kGovernorLimit:
+      case Event::kWatchdogTrip:
+        instant(e, "health");
         break;
       default:
         instant(e, "other");

@@ -1,0 +1,30 @@
+#include "txn/retry_policy.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace ermia {
+
+uint64_t RetryPolicy::BackoffUs(uint32_t attempt, const Status& failure) {
+  // LogUnavailable is an engine-health signal, not a conflict: the stall
+  // protocol retries on a milliseconds timescale, so retrying on the CC
+  // timescale would just burn cycles against a closed gate.
+  const uint64_t scale = failure.IsLogUnavailable() ? 64 : 1;
+  const uint32_t shift = std::min<uint32_t>(attempt - 1, 20);
+  const uint64_t ceil = std::min(opts_.max_backoff_us * scale,
+                                 (opts_.base_backoff_us * scale) << shift);
+  if (ceil == 0) return 0;
+  // Full jitter (not jitter-around-the-ceiling): desynchronizes workers that
+  // aborted on the same conflict at the same instant.
+  return rng_.UniformU64(0, ceil);
+}
+
+void RetryPolicy::SleepBackoff(uint32_t attempt, const Status& failure) {
+  const uint64_t us = BackoffUs(attempt, failure);
+  if (us == 0) return;
+  stats_.slept_us += us;
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace ermia

@@ -1,0 +1,88 @@
+// Copyright (c) ERMIA reproduction authors. Licensed under the MIT license.
+//
+// Per-thread adaptive retry policy for transaction aborts. Optimistic CC
+// turns contention into aborts by design; what converts those aborts into a
+// storm is every worker retrying immediately and symmetrically. RetryPolicy
+// gives each worker capped-exponential full-jitter backoff keyed by the
+// failure kind: CC conflicts retry quickly (the conflictor commits in
+// microseconds), while LogUnavailable rejects wait orders of magnitude
+// longer (the log resumes in milliseconds, if at all). Attempts are capped
+// so a persistent failure surfaces to the caller instead of spinning
+// forever. One instance per worker thread; not thread-safe by design.
+#ifndef ERMIA_TXN_RETRY_POLICY_H_
+#define ERMIA_TXN_RETRY_POLICY_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace ermia {
+
+struct RetryOptions {
+  // Total attempts (first try included). The policy returns the last
+  // failure when exhausted.
+  uint32_t max_attempts = 16;
+  // Full-jitter exponential backoff: attempt n sleeps Uniform(0,
+  // min(base << (n-1), max)) microseconds, scaled by the failure kind.
+  uint64_t base_backoff_us = 20;
+  uint64_t max_backoff_us = 20000;
+  // Seeds the per-policy RNG so tests are reproducible.
+  uint64_t seed = 0x243f6a8885a308d3ull;
+};
+
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryOptions opts = {})
+      : opts_(opts), rng_(opts.seed) {}
+
+  // Retry-worthy failures: CC outcomes that a fresh attempt can win
+  // (ShouldAbort: conflicts, phantoms, lock timeouts) and log-unavailable
+  // rejects (the stall protocol may resume). Everything else — NotFound,
+  // KeyExists, InvalidArgument, IOError — is a real answer.
+  static bool Retryable(const Status& s) {
+    return s.ShouldAbort() || s.IsLogUnavailable();
+  }
+
+  // Backoff for the n-th failed attempt (1-based), in microseconds.
+  uint64_t BackoffUs(uint32_t attempt, const Status& failure);
+
+  // Sleeps BackoffUs (no-op if it comes out zero).
+  void SleepBackoff(uint32_t attempt, const Status& failure);
+
+  // Runs `fn` (a Status() callable that begins, executes, and commits one
+  // transaction attempt; it must abort its own transaction on failure)
+  // until it succeeds, fails terminally, or attempts are exhausted.
+  template <typename Fn>
+  Status Run(Fn&& fn) {
+    Status s;
+    for (uint32_t attempt = 1;; ++attempt) {
+      s = fn();
+      if (s.ok() || !Retryable(s)) return s;
+      ++stats_.retries;
+      if (attempt >= opts_.max_attempts) {
+        ++stats_.exhausted;
+        return s;
+      }
+      SleepBackoff(attempt, s);
+    }
+  }
+
+  struct Stats {
+    uint64_t retries = 0;    // failed attempts that were retried
+    uint64_t exhausted = 0;  // Run() calls that hit max_attempts
+    uint64_t slept_us = 0;   // total backoff slept
+  };
+  const Stats& stats() const { return stats_; }
+  const RetryOptions& options() const { return opts_; }
+
+ private:
+  RetryOptions opts_;
+  FastRandom rng_;
+  Stats stats_;
+};
+
+}  // namespace ermia
+
+#endif  // ERMIA_TXN_RETRY_POLICY_H_

@@ -4,6 +4,7 @@
 
 #include "common/profiling.h"
 #include "engine/database.h"
+#include "engine/governor.h"
 #include "trace/trace.h"
 
 namespace ermia {
@@ -37,6 +38,13 @@ Transaction::Transaction(Database* db, CcScheme scheme, bool read_only)
       read_opt_set_(res_->read_opt_set) {
   db_->metrics().Inc(res_pool_hit_ ? metrics::Ctr::kTxnResPoolHits
                                    : metrics::Ctr::kTxnResPoolMisses);
+  // Overload governor: writers take an admission slot BEFORE entering the
+  // gc epoch, so a transaction parked at the gate cannot hold up version
+  // reclamation. The gate fails open after bounded rounds (no livelock).
+  if (ERMIA_UNLIKELY(db_->governor() != nullptr) && !read_only) {
+    db_->governor()->AdmitWriter();
+    gov_slot_ = true;
+  }
   {
     ERMIA_PROF_EPOCH();
     db_->gc_epoch().Enter();
@@ -94,9 +102,21 @@ Status Transaction::Read(Table* table, Oid oid, Slice* value) {
   return s;
 }
 
+// First write of a degraded-log transaction fails here, before any version
+// is installed or log space reserved, so the caller can abort cleanly (or
+// park and retry via txn/retry_policy.h). Reads never consult this gate.
+Status Transaction::CheckWriteAdmission() {
+  if (ERMIA_LIKELY(db_->log().WritesAllowed())) return Status::OK();
+  db_->metrics().Inc(metrics::Ctr::kLogWriterRejects);
+  return Status::LogUnavailable(
+      std::string("log ") + LogHealthName(db_->log().health()) +
+      ": write operations are rejected until the log recovers");
+}
+
 Status Transaction::Update(Table* table, Oid oid, const Slice& value) {
   ERMIA_DCHECK(!finished_);
   if (read_only_) return Status::InvalidArgument("read-only transaction");
+  ERMIA_RETURN_NOT_OK(CheckWriteAdmission());
   Status s;
   if (scheme_ == CcScheme::kOcc) {
     s = OccUpdate(table, oid, value, false);
@@ -117,6 +137,7 @@ Status Transaction::Update(Table* table, Oid oid, const Slice& value) {
 Status Transaction::Delete(Table* table, Oid oid) {
   ERMIA_DCHECK(!finished_);
   if (read_only_) return Status::InvalidArgument("read-only transaction");
+  ERMIA_RETURN_NOT_OK(CheckWriteAdmission());
   Status s;
   if (scheme_ == CcScheme::kOcc) {
     s = OccUpdate(table, oid, Slice(), true);
@@ -138,6 +159,7 @@ Status Transaction::Insert(Table* table, Index* primary, const Slice& key,
                            const Slice& value, Oid* oid) {
   ERMIA_DCHECK(!finished_);
   if (read_only_) return Status::InvalidArgument("read-only transaction");
+  ERMIA_RETURN_NOT_OK(CheckWriteAdmission());
 
   // Probe first: the key may exist live (KeyExists), deleted (reuse the OID
   // by overwriting the tombstone), or not at all (fresh insert).
@@ -461,14 +483,16 @@ void Transaction::PostCommit(Lsn clsn) {
   }
 }
 
-void Transaction::WaitCommitDurable(uint64_t target_offset) {
+Status Transaction::WaitCommitDurable(uint64_t target_offset) {
   if (ERMIA_UNLIKELY(traced_)) {
     trace::Emit(trace::Event::kLogFlushWaitBegin, tid_, target_offset, 0);
   }
-  db_->log().WaitForDurable(target_offset);
+  Status s = db_->log().WaitForDurable(target_offset);
   if (ERMIA_UNLIKELY(traced_)) {
-    trace::Emit(trace::Event::kLogFlushWaitEnd, tid_, target_offset, 0);
+    trace::Emit(trace::Event::kLogFlushWaitEnd, tid_, target_offset,
+                s.ok() ? 0 : 1);
   }
+  return s;
 }
 
 void Transaction::Finish(bool committed) {
@@ -496,6 +520,10 @@ void Transaction::Finish(bool committed) {
   // before the state flip) and return the registry slot before the TID slot
   // becomes reusable.
   SsnReleaseReads();
+  if (ERMIA_UNLIKELY(gov_slot_)) {
+    db_->governor()->ReleaseWriter();
+    gov_slot_ = false;
+  }
   for (Version* v : scratch_versions_) Version::Free(v);
   scratch_versions_.clear();
   db_->tids().Release(ctx_);
@@ -557,6 +585,20 @@ Transaction::WriteSetEntry* Transaction::FindOwnWrite(Table* table, Oid oid) {
 Status Transaction::Commit() {
   ERMIA_DCHECK(!finished_);
   const bool has_writes = !write_set_.empty() || staged_records_ > 0;
+  // A poisoned log can never make this transaction durable, and its versions
+  // are not visible yet (no commit stamp) — abort now rather than installing
+  // a commit block that will be discarded. A merely *stalled* log proceeds:
+  // the transaction's bytes enter the ring and the synchronous-commit wait
+  // blocks until the flusher's retry lands them (or the log degrades
+  // further, failing the wait).
+  if (ERMIA_UNLIKELY(has_writes &&
+                     db_->log().health() == LogHealth::kPoisoned)) {
+    MarkAbort(metrics::AbortReason::kLogUnavailable);
+    db_->metrics().Inc(metrics::Ctr::kLogWriterRejects);
+    Abort();
+    return Status::LogUnavailable(
+        "log poisoned: write transaction aborted at commit");
+  }
   if (!has_writes) {
     // Reader-only commit. Under SSN the reads still participate (committed
     // readers must publish their pstamps so writers see them). An OCC

@@ -154,8 +154,15 @@ class Transaction {
   void PostCommit(Lsn clsn);
   void Finish(bool committed);
   // Synchronous-commit group-commit wait, bracketed with the trace's
-  // kLogFlushWaitBegin/End span when this transaction is traced.
-  void WaitCommitDurable(uint64_t target_offset);
+  // kLogFlushWaitBegin/End span when this transaction is traced. Returns
+  // LogUnavailable if the log degraded before the commit block became
+  // durable: the commit is already visible (versions carry the commit LSN)
+  // but was never acknowledged as durable, and the caller must not treat it
+  // as surviving a crash.
+  Status WaitCommitDurable(uint64_t target_offset);
+  // Admission check for write operations: a stalled or poisoned log rejects
+  // them with LogUnavailable before any version is installed.
+  Status CheckWriteAdmission();
   void RegisterNode(const NodeHandle& handle);
   bool NeedsNodeSet() const {
     return scheme_ != CcScheme::kSi && !read_only_;
@@ -226,6 +233,9 @@ class Transaction {
   bool read_only_;
   bool finished_ = false;
   bool in_epoch_ = false;
+  // Overload governor (engine/governor.h): true while this transaction holds
+  // an admitted-writer slot that Finish must return.
+  bool gov_slot_ = false;
 
   TxnContext* ctx_ = nullptr;
   uint64_t tid_ = 0;

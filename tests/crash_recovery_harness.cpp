@@ -90,13 +90,21 @@ Experiment MakeExperiment(uint64_t seed) {
   Experiment e;
   const uint64_t m = Mix64(seed) % 16;
   // Weighted toward the modes that kill the process mid-write: that is
-  // where torn tails come from.
+  // where torn tails come from. The survivable slots exercise the degraded
+  // modes: a one-shot short write (transient error, flusher retries), a
+  // burst of short writes (a real ENOSPC-style stall: the log parks in
+  // kStalled, sheds writers, then resumes when the fires run out), and a
+  // failed fsync (sticky kPoisoned read-only mode; the child finishes its
+  // workload shedding writers and exits cleanly).
   if (m < 7) {
     e.plan.mode = fault::Mode::kTornWrite;
-  } else if (m < 12) {
+  } else if (m < 10) {
     e.plan.mode = fault::Mode::kCrash;
+  } else if (m < 12) {
+    e.plan.mode = fault::Mode::kShortWrite;
   } else if (m < 14) {
     e.plan.mode = fault::Mode::kShortWrite;
+    e.plan.fire_count = 40;  // stall across many flush retries, then resume
   } else {
     e.plan.mode = fault::Mode::kFsyncError;
   }
@@ -113,6 +121,10 @@ EngineConfig WorkloadConfig(const std::string& dir, const Experiment& e) {
   config.log_dir = dir;
   config.synchronous_commit = true;  // an ack means durable — the contract
   config.log_segment_size = e.log_segment_size;
+  // Fast stall retries so the burst-of-short-writes experiments resume in
+  // milliseconds instead of riding the production backoff curve.
+  config.log_stall_retry_initial_ms = 1;
+  config.log_stall_retry_max_ms = 8;
   return config;
 }
 
@@ -226,8 +238,12 @@ void WorkerThread(Database* db, Table* table, Index* pk, Index* sec, int tid,
     JournalWrite(journal_fd, line);
 
     const Status cs = txn.Commit();
-    JournalWrite(journal_fd, std::string(cs.ok() ? "C " : "A ") +
-                                 std::to_string(seq) + "\n");
+    // LogUnavailable is the one ambiguous outcome: on a degraded log the
+    // commit may be visible in the log without ever being acked durable
+    // (or may have been shed before becoming visible). Journal it as 'U' —
+    // possibly durable: never required to survive, never forbidden to.
+    const char* ack = cs.ok() ? "C " : (cs.IsLogUnavailable() ? "U " : "A ");
+    JournalWrite(journal_fd, ack + std::to_string(seq) + "\n");
 
     if (cs.ok() && tid == 0 && ++commits_since_checkpoint >= checkpoint_every) {
       commits_since_checkpoint = 0;
@@ -307,6 +323,9 @@ Journal ParseJournal(const std::string& raw) {
     } else if (tag == "A") {
       j.aborted.insert(seq);
     }
+    // "U" (commit shed by a degraded log, durability ambiguous) lands in
+    // neither set: the intent stays possibly-durable, exactly like an
+    // intent whose ack line never arrived.
   }
   return j;
 }
